@@ -1,0 +1,135 @@
+"""E-FT — failure detection and self-healing, with the lease ablation.
+
+Two measurements per lease duration L:
+
+* **detection** — a sensor service's host crashes; how long until its
+  registration lease lapses and the network forgets it (§IV.B: "this
+  mechanism of leasing keeps the sensor network healthy and robust");
+* **repair** — the cybernode hosting a provisioned composite crashes; how
+  long until the provision monitor has a replacement instance visible on
+  the surviving node (§IV.C fault tolerance).
+
+Expected shape: both scale with L (detection bounded by ~L, repair by
+~L + poll interval + instantiation), so short leases buy fast healing at
+the cost of renewal traffic — which the table also reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import render_table
+from repro.sim import Environment
+from repro.net import FixedLatency, Host, Network
+from repro.jini import LookupService, ServiceTemplate
+from repro.rio import Cybernode, OperationalString, ProvisionMonitor, \
+    QosCapability, QosRequirement, ServiceElement
+from repro.sensors import PhysicalEnvironment, TemperatureProbe
+from repro.core import ElementarySensorProvider, SENSOR_DATA_ACCESSOR, \
+    composite_factory
+
+LEASES = (2.0, 5.0, 10.0, 20.0)
+
+
+def detection_time(lease):
+    env = Environment()
+    net = Network(env, rng=np.random.default_rng(5),
+                  latency=FixedLatency(0.001))
+    world = PhysicalEnvironment(seed=5)
+    lus = LookupService(Host(net, "lus-host"))
+    lus.start()
+    probe = TemperatureProbe(env, "p", world, (0, 0),
+                             rng=np.random.default_rng(0))
+    esp = ElementarySensorProvider(Host(net, "esp-host"), "Victim", probe,
+                                   lease_duration=lease)
+    esp.start()
+    env.run(until=5.0)
+    assert len(lus.lookup(ServiceTemplate.by_name("Victim"), 5)) == 1
+    renew_base = net.stats.by_kind.get("rpc-request", {}).get("messages", 0)
+    killed_at = env.now
+    esp.host.fail()
+    while lus.lookup(ServiceTemplate.by_name("Victim"), 5):
+        env.run(until=env.now + 0.25)
+        if env.now - killed_at > 10 * lease + 30:
+            raise AssertionError("service never deregistered")
+    return env.now - killed_at
+
+
+def renewal_traffic(lease, horizon=60.0):
+    """Messages per minute a single idle service costs at lease L."""
+    env = Environment()
+    net = Network(env, rng=np.random.default_rng(5),
+                  latency=FixedLatency(0.001))
+    world = PhysicalEnvironment(seed=5)
+    LookupService(Host(net, "lus-host")).start()
+    probe = TemperatureProbe(env, "p", world, (0, 0),
+                             rng=np.random.default_rng(0))
+    esp = ElementarySensorProvider(Host(net, "esp-host"), "Idle", probe,
+                                   sample_interval=1e9, lease_duration=lease)
+    esp.start()
+    env.run(until=10.0)
+    base = net.stats.messages
+    env.run(until=10.0 + horizon)
+    return (net.stats.messages - base) * 60.0 / horizon
+
+
+def repair_time(lease):
+    env = Environment()
+    net = Network(env, rng=np.random.default_rng(6),
+                  latency=FixedLatency(0.001))
+    lus = LookupService(Host(net, "lus-host"))
+    lus.start()
+    nodes = []
+    for index in range(2):
+        node = Cybernode(Host(net, f"cyber-{index}"), "Cybernode",
+                         capability=QosCapability(compute_slots=4),
+                         lease_duration=lease)
+        node.start()
+        nodes.append(node)
+    monitor = ProvisionMonitor(Host(net, "monitor-host"), poll_interval=1.0)
+    monitor.start()
+
+    def factory(host, instance_name, attributes):
+        provider = composite_factory(host, instance_name, attributes)
+        provider._lease_duration = lease
+        return provider
+
+    element = ServiceElement(name="Aggregate", factory=factory, planned=1,
+                             qos=QosRequirement(load=1, memory_mb=8))
+    monitor.deploy(OperationalString("ft", [element]))
+    env.run(until=15.0)
+    items = lus.lookup(ServiceTemplate.by_name("Aggregate"), 5)
+    assert len(items) == 1
+    victim = items[0].service.host
+    net.hosts[victim].fail()
+    killed_at = env.now
+    while True:
+        env.run(until=env.now + 0.25)
+        items = lus.lookup(ServiceTemplate.by_name("Aggregate"), 5)
+        if items and items[0].service.host != victim:
+            return env.now - killed_at
+        if env.now - killed_at > 10 * lease + 60:
+            raise AssertionError("service never re-provisioned")
+
+
+def test_fault_tolerance(benchmark, report):
+    def run_all():
+        rows = []
+        for lease in LEASES:
+            rows.append([lease, detection_time(lease), repair_time(lease),
+                         renewal_traffic(lease)])
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(render_table(
+        ["lease (s)", "detection (s)", "repair (s)", "renewal msgs/min"],
+        rows,
+        title="E-FT — crash detection and self-healing vs lease duration"))
+    by_lease = {row[0]: row for row in rows}
+    for lease in LEASES:
+        # Detection is bounded by roughly one lease duration (+ sweep).
+        assert by_lease[lease][1] <= lease + 2.0
+        # Repair includes detection + monitor poll + instantiation.
+        assert by_lease[lease][2] <= lease + 8.0
+    # Short leases detect faster but renew more often.
+    assert by_lease[2.0][1] < by_lease[20.0][1]
+    assert by_lease[2.0][3] > by_lease[20.0][3]

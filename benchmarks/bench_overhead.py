@@ -1,0 +1,135 @@
+"""E-OVH — §II.1's header-overhead / data-flow claims, quantified.
+
+Three comparisons over identical sensor fleets:
+
+* **goodput of tiny readings**: raw streaming of one reading per message —
+  headers dominate the payload (the paper's core §II.1 complaint);
+* **client-link bytes per collected aggregate**: a client that wants the
+  fleet average either polls all N sensors directly (N request/reply pairs
+  on its own link) or asks one CSP (one exertion round trip) — the
+  federated design moves the fan-out *into the network* and the client
+  link cost becomes O(1) in N;
+* **total network bytes**, showing where the aggregation traffic went.
+
+Expected shape: federated wins on client-link bytes for N above a small
+crossover (the per-call JERI framing is ~3x a raw TCP segment, so direct
+wins for N=1 and loses for N >= ~4).
+"""
+
+import pytest
+
+from repro.metrics import render_table
+from repro.net import Host
+from repro.scenarios import build_direct_grid, build_sensorcer_grid
+from repro.baselines import DirectPollingCollector, StreamCollector, StreamingSensorNode
+from repro.sensors import PhysicalEnvironment, TemperatureProbe
+from repro.sim import Environment
+from repro.net import FixedLatency, Network
+from repro.sorcer import Exerter, ServiceContext, Signature, Task
+from repro.core import SENSOR_DATA_ACCESSOR
+
+FLEET_SIZES = (1, 4, 16, 64)
+ROUNDS = 10
+
+
+def measure_direct(n):
+    grid = build_direct_grid(n, seed=11, fixed_latency=0.001)
+    env, net = grid.env, grid.net
+    client = Host(net, "client")
+    collector = DirectPollingCollector(
+        client, [s.host.name for s in grid.sensors])
+    base = net.stats.host_bytes("client")
+
+    def rounds():
+        for _ in range(ROUNDS):
+            yield from collector.collect_average()
+
+    env.run(until=env.process(rounds()))
+    after = net.stats.host_bytes("client")
+    client_bytes = (after["sent"] + after["received"]
+                    - base["sent"] - base["received"]) / ROUNDS
+    return client_bytes, net.stats.total_bytes / ROUNDS
+
+
+def measure_sensorcer(n):
+    grid = build_sensorcer_grid(n, seed=11, fixed_latency=0.001,
+                                sample_interval=1e9)  # no sampling traffic
+    grid.settle(6.0)
+    env, net = grid.env, grid.net
+    client = Host(net, "client")
+    exerter = Exerter(client)
+    base = net.stats.host_bytes("client")
+    total_base = net.stats.total_bytes
+
+    def rounds():
+        for _ in range(ROUNDS):
+            task = Task("avg", Signature(SENSOR_DATA_ACCESSOR, "getValue",
+                                         service_id=grid.root.service_id),
+                        ServiceContext())
+            result = yield env.process(exerter.exert(task))
+            assert result.is_done, result.exceptions
+
+    env.run(until=env.process(rounds()))
+    after = net.stats.host_bytes("client")
+    client_bytes = (after["sent"] + after["received"]
+                    - base["sent"] - base["received"]) / ROUNDS
+    return client_bytes, (net.stats.total_bytes - total_base) / ROUNDS
+
+
+def test_overhead_client_link(benchmark, report):
+    def run_all():
+        rows = []
+        for n in FLEET_SIZES:
+            direct_client, direct_total = measure_direct(n)
+            fed_client, fed_total = measure_sensorcer(n)
+            rows.append([n, direct_client, fed_client,
+                         direct_client / fed_client,
+                         direct_total, fed_total])
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(render_table(
+        ["N sensors", "direct client B/agg", "federated client B/agg",
+         "client ratio", "direct net B/agg", "federated net B/agg"],
+        rows,
+        title="E-OVH — bytes per collected fleet aggregate"))
+    by_n = {row[0]: row for row in rows}
+    # Direct wins at N=1 (JERI framing costs ~2 kB per exertion round trip),
+    # the crossover falls below N=16, and the advantage grows with N.
+    assert by_n[1][3] < 1.0
+    assert by_n[16][3] > 1.0
+    assert by_n[64][3] > 4.0
+    assert by_n[64][3] > by_n[16][3] > by_n[4][3]
+    # The federated client link is O(1) in fleet size.
+    assert by_n[64][2] < 1.5 * by_n[1][2]
+
+
+def test_overhead_streaming_goodput(benchmark, report):
+    def run():
+        env = Environment()
+        import numpy as np
+        net = Network(env, rng=np.random.default_rng(3),
+                      latency=FixedLatency(0.001))
+        world = PhysicalEnvironment(seed=3)
+        StreamCollector(Host(net, "collector"))
+        host = Host(net, "node")
+        probe = TemperatureProbe(env, "p", world, (0, 0),
+                                 rng=np.random.default_rng(0))
+        StreamingSensorNode(host, probe, "collector", interval=1.0).start()
+        env.run(until=100.5)
+        stream = net.stats.by_kind["direct-stream"]
+        return stream
+
+    stream = benchmark.pedantic(run, rounds=1, iterations=1)
+    payload = stream["payload_bytes"]
+    headers = stream["header_bytes"]
+    goodput = payload / (payload + headers)
+    report(render_table(
+        ["metric", "value"],
+        [["samples streamed", stream["messages"]],
+         ["payload bytes", payload],
+         ["header bytes", headers],
+         ["goodput (payload/total)", goodput]],
+        title="E-OVH — raw streaming of one tiny reading per message"))
+    # §II.1: headers dominate tiny sensor readings.
+    assert goodput < 0.5

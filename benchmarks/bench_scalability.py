@@ -1,0 +1,144 @@
+"""E-SCALE — §VII's scalability claims plus the CSP-strategy ablation.
+
+For fleets of N sensors, compare the simulated latency of collecting one
+fleet aggregate via:
+
+* direct polling, sequential (the §II.2 status quo);
+* direct polling, parallel;
+* a flat CSP (all N sensors under one composite), parallel collection;
+* a flat CSP with *sequential* collection (the ablation from DESIGN.md);
+* a CSP tree with fanout 4 (logical subnets).
+
+Expected shape: sequential anything grows O(N); parallel flat stays near
+O(1) plus the slowest child; the tree pays one extra hop per level
+(O(log N) depth) but keeps every fan-out bounded — and at large N the
+message count per query grows linearly for every design (each sensor is
+asked once) while *client-visible latency* does not.
+"""
+
+import pytest
+
+from repro.metrics import render_table
+from repro.net import Host
+from repro.baselines import DirectPollingCollector
+from repro.scenarios import build_direct_grid, build_sensorcer_grid
+from repro.sorcer import Exerter, ServiceContext, Signature, Strategy, Task
+from repro.core import SENSOR_DATA_ACCESSOR
+
+FLEET_SIZES = (4, 16, 64)
+QUERIES = 5
+
+
+def time_direct(n, sequential):
+    grid = build_direct_grid(n, seed=13, fixed_latency=0.001)
+    env, net = grid.env, grid.net
+    collector = DirectPollingCollector(Host(net, "client"),
+                                       [s.host.name for s in grid.sensors])
+    latencies = []
+
+    def rounds():
+        for _ in range(QUERIES):
+            t0 = env.now
+            yield from collector.collect_average(sequential=sequential)
+            latencies.append(env.now - t0)
+
+    env.run(until=env.process(rounds()))
+    return sum(latencies) / len(latencies), net.stats.messages
+
+
+def time_sensorcer(n, tree_fanout, strategy):
+    grid = build_sensorcer_grid(n, seed=13, fixed_latency=0.001,
+                                tree_fanout=tree_fanout, strategy=strategy,
+                                sample_interval=1e9)
+    grid.settle(6.0)
+    env, net = grid.env, grid.net
+    exerter = Exerter(Host(net, "client"))
+    latencies = []
+
+    def warmup():
+        # First query pays one-off discovery latency; exclude it.
+        task = Task("warmup", Signature(SENSOR_DATA_ACCESSOR, "getValue",
+                                        service_id=grid.root.service_id),
+                    ServiceContext())
+        task.control.invocation_timeout = 120.0
+        result = yield env.process(exerter.exert(task))
+        assert result.is_done, result.exceptions
+
+    env.run(until=env.process(warmup()))
+    messages_base = net.stats.messages
+
+    def rounds():
+        for _ in range(QUERIES):
+            t0 = env.now
+            task = Task("avg", Signature(SENSOR_DATA_ACCESSOR, "getValue",
+                                         service_id=grid.root.service_id),
+                        ServiceContext())
+            task.control.invocation_timeout = 120.0
+            result = yield env.process(exerter.exert(task))
+            assert result.is_done, result.exceptions
+            latencies.append(env.now - t0)
+
+    env.run(until=env.process(rounds()))
+    query_messages = (net.stats.messages - messages_base) / QUERIES
+    return sum(latencies) / len(latencies), query_messages
+
+
+def collect_rows():
+    rows = []
+    for n in FLEET_SIZES:
+        direct_seq, _ = time_direct(n, sequential=True)
+        direct_par, _ = time_direct(n, sequential=False)
+        flat_par, flat_msgs = time_sensorcer(n, None, Strategy.PARALLEL)
+        flat_seq, _ = time_sensorcer(n, None, Strategy.SEQUENTIAL)
+        tree_par, tree_msgs = time_sensorcer(n, 4, Strategy.PARALLEL)
+        rows.append([n, direct_seq, direct_par, flat_par, flat_seq, tree_par,
+                     flat_msgs, tree_msgs])
+    return rows
+
+
+def test_scalability(benchmark, report):
+    rows = benchmark.pedantic(collect_rows, rounds=1, iterations=1)
+    report(render_table(
+        ["N", "direct seq (s)", "direct par (s)", "CSP flat par (s)",
+         "CSP flat seq (s)", "CSP tree f=4 (s)", "flat msgs/query",
+         "tree msgs/query"],
+        rows,
+        title="E-SCALE — fleet-average latency by architecture"))
+    by_n = {row[0]: row for row in rows}
+    # Sequential collection degrades linearly with N...
+    assert by_n[64][1] > 8 * by_n[4][1]
+    assert by_n[64][4] > 8 * by_n[4][4]
+    # ...while parallel federated latency stays within a small factor.
+    assert by_n[64][3] < 3 * by_n[4][3]
+    # §VII: "addition of new sensor services does not necessarily affect
+    # the performance of the system" — 16x more sensors, < 2x the latency.
+    assert by_n[64][3] < 2 * by_n[16][3]
+    # At every N the parallel CSP beats sequential direct polling.
+    for n in FLEET_SIZES:
+        assert by_n[n][3] < by_n[n][1]
+
+
+def test_tree_fanout_ablation(benchmark, report):
+    """Fanout sweep at N=64: deeper trees trade hops for bounded fan-out."""
+    n = 64
+
+    def run_all():
+        rows = []
+        for fanout in (2, 4, 8, None):
+            latency, messages = time_sensorcer(
+                n, fanout, Strategy.PARALLEL)
+            label = "flat" if fanout is None else f"fanout {fanout}"
+            rows.append([label, latency, messages])
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(render_table(
+        ["tree shape", "latency (s)", "msgs/query"], rows,
+        title=f"E-SCALE ablation — CSP tree fanout at N={n} sensors"))
+    by_shape = {row[0]: row for row in rows}
+    # Latency grows with depth: flat < fanout 8 < fanout 4 < fanout 2.
+    assert by_shape["flat"][1] <= by_shape["fanout 8"][1] \
+        <= by_shape["fanout 4"][1] <= by_shape["fanout 2"][1]
+    # Deeper trees relay through more composites -> more messages.
+    assert by_shape["fanout 2"][2] > by_shape["fanout 8"][2] > \
+        by_shape["flat"][2]

@@ -1,0 +1,32 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark regenerates one experiment from DESIGN.md's per-experiment
+index. The *timed* quantity (pytest-benchmark) is the wall-clock cost of
+running the simulation; the *reported* quantities are simulated-time
+latencies, byte counts, and convergence times printed as tables and saved
+under ``benchmarks/results/``.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir, request):
+    """Print a result table and persist it under the test's name."""
+
+    def _report(table: str) -> None:
+        print("\n" + table)
+        path = results_dir / f"{request.node.name}.txt"
+        path.write_text(table + "\n")
+
+    return _report

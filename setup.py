@@ -1,0 +1,8 @@
+"""Legacy setup shim: the sandbox has setuptools 65 without the ``wheel``
+package, so PEP-517 editable installs fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or plain ``pip install -e .`` on a modern toolchain)
+uses this file instead. All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

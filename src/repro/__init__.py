@@ -1,0 +1,67 @@
+"""SenSORCER reproduction — a framework for managing sensor-federated
+networks (Bhosale & Sobolewski, ICPP Workshops 2009) rebuilt in Python on a
+deterministic discrete-event simulation substrate.
+
+Layers (bottom up):
+
+* :mod:`repro.sim` — discrete-event kernel;
+* :mod:`repro.net` — simulated network, multicast, RPC, wire accounting;
+* :mod:`repro.jini` — discovery/join, lookup, leases, events, transactions;
+* :mod:`repro.rio` — cybernodes, provision monitor, QoS, selection, SLA;
+* :mod:`repro.sorcer` — exertions, contexts, signatures, Jobber/Spacer,
+  exertion space;
+* :mod:`repro.expr` — the compute-expression language (Groovy substitute);
+* :mod:`repro.sensors` — environment model, probes, Sun SPOT, faults;
+* :mod:`repro.core` — SenSORCER proper: ESP, CSP, façade, browser,
+  network manager, provisioner;
+* :mod:`repro.baselines` — direct-IP collection and TCI/SSP/ASP;
+* :mod:`repro.scenarios` — canned deployments (the paper-lab of Fig 2);
+* :mod:`repro.metrics` — experiment recording and tables.
+
+Quick start::
+
+    from repro.scenarios import build_paper_lab
+
+    lab = build_paper_lab(seed=2009)
+    lab.settle(6.0)
+
+    def experiment():
+        yield from lab.browser.compose_service(
+            "Composite-Service", ["Neem-Sensor", "Jade-Sensor"])
+        yield from lab.browser.add_expression("Composite-Service", "(a+b)/2")
+        value = yield from lab.browser.get_value("Composite-Service")
+        return value
+
+    print(lab.env.run(until=lab.env.process(experiment())))
+"""
+
+__version__ = "0.1.0"
+
+from . import (  # noqa: F401 - re-exported subpackages
+    baselines,
+    core,
+    expr,
+    jini,
+    metrics,
+    net,
+    rio,
+    scenarios,
+    sensors,
+    sim,
+    sorcer,
+)
+
+__all__ = [
+    "__version__",
+    "baselines",
+    "core",
+    "expr",
+    "jini",
+    "metrics",
+    "net",
+    "rio",
+    "scenarios",
+    "sensors",
+    "sim",
+    "sorcer",
+]

@@ -1,0 +1,28 @@
+"""Comparison baselines: direct IP collection (§II), the Jini TCI/SSP/ASP
+framework (§III.A) and the surrogate-architecture framework (§III.B)."""
+
+from .direct import (
+    DirectPollingCollector,
+    DirectSensorNode,
+    StreamCollector,
+    StreamingSensorNode,
+)
+from .surrogate import DeviceLink, DeviceSurrogate, SurrogateHost
+from .tci import (
+    ApplicationServiceProvider,
+    TciSensorServiceProvider,
+    TerminalCommunicationInterface,
+)
+
+__all__ = [
+    "ApplicationServiceProvider",
+    "DeviceLink",
+    "DeviceSurrogate",
+    "DirectPollingCollector",
+    "DirectSensorNode",
+    "StreamCollector",
+    "StreamingSensorNode",
+    "SurrogateHost",
+    "TciSensorServiceProvider",
+    "TerminalCommunicationInterface",
+]

@@ -1,0 +1,201 @@
+"""Command-line interface: run canned SenSORCER scenarios from a shell.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro inventory   [--seed N]        # Fig 2 service listing
+    python -m repro experiment  [--seed N]        # the §VI six-step run
+    python -m repro value NAME  [--seed N]        # read one sensor service
+    python -m repro farm        [--seed N] [--fields K] [--sensors M]
+    python -m repro topology    [--seed N]        # logical network tree
+
+Everything runs a fresh, seeded simulation; same seed, same output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .scenarios import build_farm, build_paper_lab
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SenSORCER reproduction — sensor-federated networks "
+                    "on a deterministic simulator")
+    parser.add_argument("--seed", type=int, default=2009,
+                        help="scenario seed (default: 2009)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("inventory",
+                   help="deploy the paper lab and list registered services")
+
+    sub.add_parser("experiment",
+                   help="run the paper's six-step Fig 3 experiment")
+
+    value = sub.add_parser("value", help="read one sensor service's value")
+    value.add_argument("name", help="service name, e.g. Neem-Sensor")
+
+    farm = sub.add_parser("farm", help="field-subnet monitoring demo")
+    farm.add_argument("--fields", type=int, default=3)
+    farm.add_argument("--sensors", type=int, default=4)
+
+    sub.add_parser("topology",
+                   help="compose the Fig 3 network and print the tree")
+
+    sub.add_parser("traffic",
+                   help="run the experiment and print per-kind traffic")
+
+    watch = sub.add_parser("watch", help="sample sensors over time")
+    watch.add_argument("names", nargs="+", help="service names to watch")
+    watch.add_argument("--interval", type=float, default=5.0)
+    watch.add_argument("--rounds", type=int, default=6)
+
+    sub.add_parser("admin",
+                   help="registry admin view: registrations + leases")
+    return parser
+
+
+def _lab(seed: int):
+    lab = build_paper_lab(seed=seed)
+    lab.settle(6.0)
+    return lab
+
+
+def cmd_inventory(args, out) -> int:
+    lab = _lab(args.seed)
+    items = sorted(lab.lus.lookup_all(), key=lambda i: i.name() or "")
+    out.write(f"{len(items)} services registered "
+              f"(t={lab.env.now:.1f}s simulated):\n")
+    for item in items:
+        types = "/".join(t for t in item.service.type_names if t != "Servicer")
+        out.write(f"  {item.name():<26} {item.service.host:<16} {types}\n")
+    return 0
+
+
+def _run_six_steps(lab):
+    browser = lab.browser
+
+    def experiment():
+        yield from browser.compose_service(
+            "Composite-Service",
+            ["Neem-Sensor", "Jade-Sensor", "Diamond-Sensor"])
+        yield from browser.add_expression("Composite-Service", "(a + b + c)/3")
+        yield from browser.create_service("New-Composite")
+        yield from browser.compose_service(
+            "New-Composite", ["Composite-Service", "Coral-Sensor"])
+        yield from browser.add_expression("New-Composite", "(a + b)/2")
+        value = yield from browser.get_value("New-Composite")
+        yield from browser.get_info("New-Composite")
+        yield from browser.refresh_topology()
+        return value
+
+    return lab.env.run(until=lab.env.process(experiment()))
+
+
+def cmd_experiment(args, out) -> int:
+    lab = _lab(args.seed)
+    value = _run_six_steps(lab)
+    out.write(lab.browser.render_info_pane() + "\n\n")
+    out.write(f"New-Composite value: {value:.3f} C "
+              f"(t={lab.env.now:.1f}s simulated)\n")
+    return 0
+
+
+def cmd_value(args, out) -> int:
+    lab = _lab(args.seed)
+    from .core import BrowserError
+    try:
+        value = lab.env.run(until=lab.env.process(
+            lab.browser.get_value(args.name)))
+    except BrowserError as exc:
+        out.write(f"error: {exc}\n")
+        return 1
+    out.write(f"{args.name}: {value:.3f}\n")
+    return 0
+
+
+def cmd_farm(args, out) -> int:
+    farm = build_farm(seed=args.seed, n_fields=args.fields,
+                      sensors_per_field=args.sensors)
+    farm.settle(6.0)
+    browser = farm.browser
+    temp_sensors = {
+        field: [esp.name for esp in esps
+                if esp.probe.teds.quantity == "temperature"]
+        for field, esps in farm.fields.items()}
+
+    def session():
+        values = {}
+        for field, names in temp_sensors.items():
+            yield from browser.compose_service(field, names)
+            values[field] = yield from browser.get_value(field)
+        return values
+
+    values = farm.env.run(until=farm.env.process(session()))
+    out.write(f"farm with {args.fields} fields x {args.sensors} stations:\n")
+    for field in sorted(values):
+        truth = farm.ground_truth_field_mean(field, "temperature")
+        out.write(f"  {field:<10} {values[field]:7.2f} C "
+                  f"(ground truth {truth:7.2f} C)\n")
+    return 0
+
+
+def cmd_topology(args, out) -> int:
+    lab = _lab(args.seed)
+    _run_six_steps(lab)
+    out.write(lab.browser.render_topology() + "\n")
+    return 0
+
+
+def cmd_traffic(args, out) -> int:
+    from .metrics import render_traffic
+    lab = _lab(args.seed)
+    _run_six_steps(lab)
+    out.write(render_traffic(
+        lab.net.stats,
+        title=f"Traffic after the six-step experiment "
+              f"(t={lab.env.now:.1f}s simulated)") + "\n")
+    return 0
+
+
+def cmd_watch(args, out) -> int:
+    lab = _lab(args.seed)
+    lab.env.run(until=lab.env.process(
+        lab.browser.watch(args.names, interval=args.interval,
+                          rounds=args.rounds)))
+    out.write(lab.browser.render_watch_pane() + "\n")
+    return 0
+
+
+def cmd_admin(args, out) -> int:
+    lab = _lab(args.seed)
+    lab.env.run(until=lab.env.process(lab.browser.registry_admin()))
+    out.write(lab.browser.render_admin_pane() + "\n")
+    return 0
+
+
+_COMMANDS = {
+    "inventory": cmd_inventory,
+    "experiment": cmd_experiment,
+    "value": cmd_value,
+    "farm": cmd_farm,
+    "topology": cmd_topology,
+    "traffic": cmd_traffic,
+    "watch": cmd_watch,
+    "admin": cmd_admin,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,261 @@
+"""Composite Sensor Provider — logical sensor networking (§V.B).
+
+A CSP composes elementary and composite sensor services. Its two roles:
+
+* **aggregate** — collect values from component services (as a P2P
+  requestor, exerting ``getValue`` tasks bound by service id), evaluate the
+  attached compute-expression over dynamically created variables
+  (``a``, ``b``, ... in composition order) and return the calibrated
+  composite value through the same ``SensorDataAccessor`` interface;
+* **child** — since a CSP *is* a sensor service, it can itself be composed
+  into a parent CSP, which is what makes a whole sensor network manageable
+  as a single CSP.
+
+Cycle safety: a ``composite/visited`` list travels in the exertion context;
+a CSP that finds itself already visited fails the request instead of
+recursing forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..expr import Expression, ExprError
+from ..jini.entries import SensorType
+from ..net.host import Host
+from ..sensors.probe import Reading
+from ..sorcer.context import ServiceContext
+from ..sorcer.exerter import Exerter
+from ..sorcer.exertion import Strategy, Task
+from ..sorcer.provider import ServiceProvider
+from ..sorcer.signature import Signature
+from .interfaces import (
+    COMPOSITE_PROVIDER,
+    KIND_COMPOSITE,
+    OP_ADD_SERVICE,
+    OP_GET_HISTORY,
+    OP_GET_INFO,
+    OP_GET_READING,
+    OP_GET_STATS,
+    OP_GET_VALUE,
+    OP_LIST_SERVICES,
+    OP_REMOVE_SERVICE,
+    OP_SET_EXPRESSION,
+    SENSOR_DATA_ACCESSOR,
+)
+from .variables import variable_name
+
+__all__ = ["CompositeSensorProvider", "CompositionError"]
+
+VISITED_PATH = "composite/visited"
+
+
+class CompositionError(Exception):
+    """Invalid composite configuration (cycle, bad expression, unknown child)."""
+
+
+@dataclass
+class _Child:
+    service_id: str
+    display_name: str
+
+    @property
+    def key(self) -> str:
+        return self.service_id
+
+
+class CompositeSensorProvider(ServiceProvider):
+    """Aggregates sensor services and evaluates compute-expressions."""
+
+    SERVICE_TYPES = (SENSOR_DATA_ACCESSOR, COMPOSITE_PROVIDER)
+
+    def __init__(self, host: Host, name: str,
+                 strategy: Strategy = Strategy.PARALLEL,
+                 child_wait: float = 5.0,
+                 child_timeout: float = 10.0,
+                 fault_policy: str = "strict",
+                 attributes: tuple = (),
+                 **kwargs):
+        """``child_timeout`` bounds each child invocation (sensor reads are
+        fast; a slow child is a lost message or a dead host and the exerter
+        should retry/fail over rather than wait).
+
+        ``fault_policy``:
+
+        * ``"strict"`` (default) — any unreachable child fails the query;
+        * ``"skip"`` — aggregate over the children that answered. Only
+          valid while no expression is attached (an expression names its
+          variables, so a missing child would silently shift bindings).
+        """
+        if fault_policy not in ("strict", "skip"):
+            raise ValueError(f"unknown fault_policy {fault_policy!r}")
+        composite_attrs = (SensorType(service_kind=KIND_COMPOSITE),)
+        super().__init__(host, name,
+                         attributes=composite_attrs + tuple(attributes),
+                         **kwargs)
+        self.strategy = strategy
+        self.child_wait = child_wait
+        self.child_timeout = child_timeout
+        self.fault_policy = fault_policy
+        self.children: list[_Child] = []
+        self.expression: Optional[Expression] = None
+        self.exerter = Exerter(host)
+        self.last_value: Optional[float] = None
+        self.add_operation(OP_GET_VALUE, self._op_get_value)
+        self.add_operation(OP_GET_READING, self._op_get_reading)
+        self.add_operation(OP_GET_INFO, self._op_get_info)
+        self.add_operation(OP_ADD_SERVICE, self._op_add_service)
+        self.add_operation(OP_REMOVE_SERVICE, self._op_remove_service)
+        self.add_operation(OP_SET_EXPRESSION, self._op_set_expression)
+        self.add_operation(OP_LIST_SERVICES, self._op_list_services)
+
+    # -- composition management (local API; also exposed as operations) ---------------
+
+    def variable_of(self, service_id: str) -> str:
+        for index, child in enumerate(self.children):
+            if child.service_id == service_id:
+                return variable_name(index)
+        raise CompositionError(f"{service_id!r} is not composed in {self.name!r}")
+
+    def add_child(self, service_id: str, display_name: str) -> str:
+        """Compose a sensor service; returns the variable created for it."""
+        if service_id == self.service_id:
+            raise CompositionError(f"{self.name!r} cannot contain itself")
+        if any(c.service_id == service_id for c in self.children):
+            raise CompositionError(
+                f"{display_name!r} ({service_id}) already composed in {self.name!r}")
+        self.children.append(_Child(service_id, display_name))
+        return variable_name(len(self.children) - 1)
+
+    def remove_child(self, service_id: str) -> None:
+        before = len(self.children)
+        self.children = [c for c in self.children if c.service_id != service_id]
+        if len(self.children) == before:
+            raise CompositionError(f"{service_id!r} is not composed in {self.name!r}")
+        self._check_expression_bindings()
+
+    def set_expression(self, text: Optional[str]) -> None:
+        """Attach (or clear, with ``None``) the compute-expression."""
+        if text is None:
+            self.expression = None
+            return
+        if self.fault_policy == "skip":
+            raise CompositionError(
+                "expressions require fault_policy='strict': a skipped child "
+                "would silently re-map the remaining variables")
+        try:
+            expression = Expression(text)
+        except ExprError as exc:
+            raise CompositionError(f"bad expression {text!r}: {exc}") from exc
+        self.expression = expression
+        self._check_expression_bindings()
+
+    def _check_expression_bindings(self) -> None:
+        if self.expression is None:
+            return
+        available = {variable_name(i) for i in range(len(self.children))}
+        unbound = set(self.expression.variables) - available
+        if unbound:
+            raise CompositionError(
+                f"expression {self.expression.text!r} references unbound "
+                f"variable(s) {sorted(unbound)}; composed services define "
+                f"{sorted(available)}")
+
+    # -- value aggregation ----------------------------------------------------------
+
+    def _child_task(self, child: _Child, visited: list) -> Task:
+        ctx = ServiceContext(f"{self.name}->{child.display_name}")
+        ctx.put_value(VISITED_PATH, list(visited))
+        task = Task(f"collect-{child.display_name}",
+                    Signature(SENSOR_DATA_ACCESSOR, OP_GET_VALUE,
+                              service_id=child.service_id), ctx)
+        task.control.provider_wait = self.child_wait
+        task.control.invocation_timeout = self.child_timeout
+        return task
+
+    def _collect(self, visited: list):
+        """Collect child values; returns {variable: value}. Generator."""
+        if not self.children:
+            raise CompositionError(f"{self.name!r} has no composed services")
+        tasks = [self._child_task(child, visited) for child in self.children]
+        if self.strategy is Strategy.PARALLEL:
+            procs = [self.env.process(self.exerter.exert(task),
+                                      name=f"csp-collect:{task.name}")
+                     for task in tasks]
+            results = yield self.env.all_of(procs)
+        else:
+            results = []
+            for task in tasks:
+                result = yield self.env.process(self.exerter.exert(task))
+                results.append(result)
+        bindings = {}
+        failures = []
+        for index, result in enumerate(results):
+            if result.is_failed:
+                failures.append(
+                    f"{self.children[index].display_name}: {result.exceptions}")
+                continue
+            bindings[variable_name(index)] = result.get_return_value()
+        if failures and (self.fault_policy == "strict"
+                         or self.expression is not None):
+            raise CompositionError(
+                f"{self.name!r}: component value collection failed: "
+                + "; ".join(failures))
+        if not bindings:
+            raise CompositionError(
+                f"{self.name!r}: no component answered "
+                f"({len(failures)} failures)")
+        return bindings
+
+    def _op_get_value(self, ctx):
+        visited = list(ctx.get_value(VISITED_PATH, []))
+        if self.service_id in visited:
+            raise CompositionError(
+                f"composition cycle detected at {self.name!r} "
+                f"(visited: {len(visited)} services)")
+        visited.append(self.service_id)
+        bindings = yield from self._collect(visited)
+        if self.expression is not None:
+            value = self.expression.evaluate(bindings)
+        else:
+            values = list(bindings.values())
+            value = sum(values) / len(values)
+        self.last_value = value
+        return value
+
+    def _op_get_reading(self, ctx):
+        value = yield from self._op_get_value(ctx)
+        return Reading(value=value, unit="composite", timestamp=self.env.now,
+                       sensor_id=self.service_id)
+
+    # -- info / management operations ----------------------------------------------
+
+    def _op_get_info(self, ctx):
+        return {
+            "name": self.name,
+            "service_id": self.service_id,
+            "service_type": KIND_COMPOSITE,
+            "quantity": None,
+            "unit": "composite",
+            "contained_services": [c.display_name for c in self.children],
+            "expression": self.expression.text if self.expression else None,
+        }
+
+    def _op_add_service(self, ctx):
+        service_id = ctx.get_value("arg/service_id")
+        display_name = ctx.get_value("arg/name")
+        return self.add_child(service_id, display_name)
+
+    def _op_remove_service(self, ctx):
+        self.remove_child(ctx.get_value("arg/service_id"))
+        return True
+
+    def _op_set_expression(self, ctx):
+        self.set_expression(ctx.get_value("arg/expression"))
+        return True
+
+    def _op_list_services(self, ctx):
+        return [{"name": child.display_name, "service_id": child.service_id,
+                 "variable": variable_name(index)}
+                for index, child in enumerate(self.children)]

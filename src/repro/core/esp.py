@@ -1,0 +1,204 @@
+"""Elementary Sensor Provider — the framework's basic building block (§V.B).
+
+An ESP wraps exactly one :class:`~repro.sensors.probe.SensorProbe` (the only
+sensor-dependent component) and exports the technology-independent
+``SensorDataAccessor`` interface. It samples the probe on its own schedule
+into a local :class:`~repro.sensors.buffer.ReadingBuffer` (the data-flow
+reversal fix of §II.4: consumers poll the service, not the sensor) and
+plays the role of a *node* in the logical sensor network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..jini.entries import Location, SensorType
+from ..jini.lease import Landlord
+from ..net.host import Host
+from ..net.rpc import RemoteRef
+from ..sensors.buffer import ReadingBuffer
+from ..sensors.probe import ProbeError, Reading, SensorProbe
+from ..sorcer.provider import ServiceProvider
+from .events import SensorReadingEvent, Subscription
+from .interfaces import (
+    DATA_COLLECTION,
+    ELEMENTARY_PROVIDER,
+    KIND_ELEMENTARY,
+    OP_GET_HISTORY,
+    OP_GET_INFO,
+    OP_GET_READING,
+    OP_GET_STATS,
+    OP_GET_VALUE,
+    SENSOR_DATA_ACCESSOR,
+)
+
+__all__ = ["ElementarySensorProvider"]
+
+
+class ElementarySensorProvider(ServiceProvider):
+    """Wraps one probe as a network sensor service."""
+
+    SERVICE_TYPES = (SENSOR_DATA_ACCESSOR, ELEMENTARY_PROVIDER, DATA_COLLECTION)
+
+    def __init__(self, host: Host, name: str, probe: SensorProbe,
+                 sample_interval: float = 1.0,
+                 buffer_capacity: int = 256,
+                 location: Optional[Location] = None,
+                 technology: str = "simulated",
+                 attributes: tuple = (),
+                 **kwargs):
+        teds = probe.teds
+        sensor_attrs = (SensorType(quantity=teds.quantity, unit=teds.unit,
+                                   technology=technology,
+                                   service_kind=KIND_ELEMENTARY),)
+        if location is not None:
+            sensor_attrs += (location,)
+        super().__init__(host, name, attributes=sensor_attrs + tuple(attributes),
+                         **kwargs)
+        self.probe = probe
+        self.sample_interval = sample_interval
+        self.buffer = ReadingBuffer(buffer_capacity)
+        self.sample_errors = 0
+        self._sampling = False
+        #: Leased push subscriptions (§II.5): event_id -> subscriber state.
+        self._subscribers: dict[int, dict] = {}
+        self._sub_landlord = Landlord(host.env, max_duration=600.0,
+                                      on_expire=self._drop_subscription)
+        self.events_pushed = 0
+        self.add_operation(OP_GET_VALUE, self._op_get_value)
+        self.add_operation(OP_GET_READING, self._op_get_reading)
+        self.add_operation(OP_GET_INFO, self._op_get_info)
+        self.add_operation(OP_GET_HISTORY, self._op_get_history)
+        self.add_operation(OP_GET_STATS, self._op_get_stats)
+        self.add_operation("subscribe", self._op_subscribe)
+        self.add_operation("unsubscribe", self._op_unsubscribe)
+        self.add_operation("renewSubscription", self._op_renew_subscription)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "ElementarySensorProvider":
+        super().start()
+        if not self._sampling:
+            self._sampling = True
+            if not self.probe.connected:
+                self.probe.connect()
+            self.env.process(self._sampler(), name=f"esp-sample:{self.name}")
+            self.env.process(self._sub_landlord.sweeper(1.0),
+                             name=f"esp-subs:{self.name}")
+        return self
+
+    def destroy(self):
+        self._sampling = False
+        self.probe.disconnect()
+        yield from super().destroy()
+
+    def _sampler(self):
+        while self._sampling:
+            if self.host.up and self.probe.connected:
+                try:
+                    reading = yield self.env.process(self.probe.read())
+                    self.buffer.append(reading)
+                    self._publish(reading)
+                except ProbeError:
+                    self.sample_errors += 1
+            yield self.env.timeout(self.sample_interval)
+
+    # -- push subscriptions (§II.5 on-the-fly data) ----------------------------------
+
+    def _publish(self, reading: Reading) -> None:
+        for event_id, sub in list(self._subscribers.items()):
+            if not self._sub_landlord.is_active(sub["lease_id"]):
+                continue
+            if reading.timestamp - sub["last_pushed"] < sub["min_interval"]:
+                continue
+            sub["last_pushed"] = reading.timestamp
+            sub["sequence"] += 1
+            event = SensorReadingEvent(
+                source=self.service_id, event_id=event_id,
+                sequence=sub["sequence"], handback=sub["handback"],
+                sensor_name=self.name, reading=reading)
+            self.env.process(self._push(sub["listener"], event),
+                             name=f"esp-push:{self.name}")
+
+    def _push(self, listener: RemoteRef, event: SensorReadingEvent):
+        if not self.host.up:
+            return
+        try:
+            yield self._endpoint.call(listener, "notify", event,
+                                      kind="sensor-event", timeout=3.0)
+            self.events_pushed += 1
+        except Exception:
+            pass  # unreachable subscriber: its lease will lapse
+
+    def _drop_subscription(self, event_id: int) -> None:
+        self._subscribers.pop(event_id, None)
+
+    def _op_subscribe(self, ctx):
+        listener = ctx.get_value("arg/listener")
+        min_interval = float(ctx.get_value("arg/min_interval", 0.0))
+        duration = float(ctx.get_value("arg/lease_duration", 60.0))
+        handback = ctx.get_value("arg/handback", None)
+        event_id = self.host.network.ids.sequence()
+        lease = self._sub_landlord.grant(event_id, duration)
+        self._subscribers[event_id] = {
+            "listener": listener, "min_interval": min_interval,
+            "last_pushed": -float("inf"), "sequence": 0,
+            "handback": handback, "lease_id": lease.lease_id,
+        }
+        return Subscription(event_id=event_id, lease_id=lease.lease_id,
+                            expiration=lease.expiration,
+                            min_interval=min_interval)
+
+    def _op_unsubscribe(self, ctx):
+        lease_id = ctx.get_value("arg/lease_id")
+        event_id = self._sub_landlord.cancel(lease_id)
+        self._drop_subscription(event_id)
+        return True
+
+    def _op_renew_subscription(self, ctx):
+        lease_id = ctx.get_value("arg/lease_id")
+        duration = float(ctx.get_value("arg/lease_duration", 60.0))
+        lease = self._sub_landlord.renew(lease_id, duration)
+        return lease.expiration
+
+    # -- operations ----------------------------------------------------------------
+
+    def _latest(self):
+        """Freshest reading: buffered if recent, else a direct probe read."""
+        last = self.buffer.last()
+        if last is not None and self.env.now - last.timestamp <= 2 * self.sample_interval:
+            return last
+        reading = yield self.env.process(self.probe.read())
+        self.buffer.append(reading)
+        return reading
+
+    def _op_get_value(self, ctx):
+        reading = yield from self._latest()
+        return reading.value
+
+    def _op_get_reading(self, ctx):
+        reading = yield from self._latest()
+        return reading
+
+    def _op_get_info(self, ctx):
+        teds = self.probe.teds
+        return {
+            "name": self.name,
+            "service_id": self.service_id,
+            "service_type": KIND_ELEMENTARY,
+            "quantity": teds.quantity,
+            "unit": teds.unit,
+            "manufacturer": teds.manufacturer,
+            "model": teds.model,
+            "accuracy": teds.accuracy,
+            "contained_services": [],
+            "expression": None,
+        }
+
+    def _op_get_history(self, ctx):
+        count = int(ctx.get_value("arg/count", 10))
+        return self.buffer.window(count)
+
+    def _op_get_stats(self, ctx):
+        window = ctx.get_value("arg/window", None)
+        return self.buffer.stats(int(window) if window is not None else None)

@@ -1,0 +1,38 @@
+"""Sensor data push — distributed events carrying readings (§II.5).
+
+The paper motivates that "no mechanism is available by which metacomputing
+applications can get sensor data on-the-fly". SenSORCER's substrate (Jini
+distributed events) supports exactly that, so we close the gap: an ESP
+accepts leased subscriptions and pushes a :class:`SensorReadingEvent` to
+each listener as new samples arrive (rate-limited per subscriber). A
+subscriber that disappears simply stops renewing; the lease lapses and the
+push stops — no dangling consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..jini.events import RemoteEvent
+from ..sensors.probe import Reading
+
+__all__ = ["SensorReadingEvent", "Subscription"]
+
+
+@dataclass
+class SensorReadingEvent(RemoteEvent):
+    """A fresh reading pushed from a sensor service to a subscriber."""
+
+    sensor_name: str = ""
+    reading: Optional[Reading] = None
+
+
+@dataclass
+class Subscription:
+    """Returned by the ESP's ``subscribe`` operation."""
+
+    event_id: int
+    lease_id: int
+    expiration: float
+    min_interval: float

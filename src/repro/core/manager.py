@@ -1,0 +1,108 @@
+"""Sensor network manager — the model of the logical sensor network.
+
+Tracks which sensor services exist and how composites contain them, as a
+directed acyclic graph (networkx): an edge ``parent -> child`` means the
+composite ``parent`` aggregates ``child``. The façade updates this model as
+it executes management requests, and the sensor browser renders it — the M
+of the browser's MVC (§V.B).
+"""
+
+from __future__ import annotations
+
+
+import networkx as nx
+
+__all__ = ["SensorNetworkManager", "NetworkModelError"]
+
+
+class NetworkModelError(Exception):
+    """Invalid logical-network mutation (cycle, unknown node, duplicate)."""
+
+
+class SensorNetworkManager:
+    """In-memory DAG of the logical sensor network."""
+
+    def __init__(self):
+        self.graph = nx.DiGraph()
+
+    # -- nodes ------------------------------------------------------------------
+
+    def register_service(self, service_id: str, name: str, kind: str) -> None:
+        if service_id in self.graph:
+            # Idempotent refresh of metadata.
+            self.graph.nodes[service_id].update(name=name, kind=kind)
+            return
+        self.graph.add_node(service_id, name=name, kind=kind)
+
+    def unregister_service(self, service_id: str) -> None:
+        if service_id not in self.graph:
+            raise NetworkModelError(f"unknown service {service_id!r}")
+        self.graph.remove_node(service_id)
+
+    def has_service(self, service_id: str) -> bool:
+        return service_id in self.graph
+
+    def name_of(self, service_id: str) -> str:
+        self._require(service_id)
+        return self.graph.nodes[service_id]["name"]
+
+    def kind_of(self, service_id: str) -> str:
+        self._require(service_id)
+        return self.graph.nodes[service_id]["kind"]
+
+    def services(self) -> list[str]:
+        return sorted(self.graph.nodes)
+
+    # -- composition edges ----------------------------------------------------------
+
+    def compose(self, parent_id: str, child_id: str) -> None:
+        self._require(parent_id)
+        self._require(child_id)
+        if parent_id == child_id:
+            raise NetworkModelError("a composite cannot contain itself")
+        if self.graph.has_edge(parent_id, child_id):
+            raise NetworkModelError(
+                f"{self.name_of(child_id)!r} already composed in "
+                f"{self.name_of(parent_id)!r}")
+        if nx.has_path(self.graph, child_id, parent_id):
+            raise NetworkModelError(
+                f"composing {self.name_of(child_id)!r} into "
+                f"{self.name_of(parent_id)!r} would create a cycle")
+        self.graph.add_edge(parent_id, child_id)
+
+    def decompose(self, parent_id: str, child_id: str) -> None:
+        if not self.graph.has_edge(parent_id, child_id):
+            raise NetworkModelError("no such composition edge")
+        self.graph.remove_edge(parent_id, child_id)
+
+    def children_of(self, service_id: str) -> list[str]:
+        self._require(service_id)
+        return sorted(self.graph.successors(service_id))
+
+    def parents_of(self, service_id: str) -> list[str]:
+        self._require(service_id)
+        return sorted(self.graph.predecessors(service_id))
+
+    def subnet_members(self, root_id: str) -> list[str]:
+        """Every service reachable under a composite (the logical subnet)."""
+        self._require(root_id)
+        return sorted(nx.descendants(self.graph, root_id))
+
+    def roots(self) -> list[str]:
+        """Services not contained in any composite (network entry points)."""
+        return sorted(n for n in self.graph.nodes
+                      if self.graph.in_degree(n) == 0)
+
+    # -- snapshot ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "nodes": [{"service_id": n, **self.graph.nodes[n]}
+                      for n in sorted(self.graph.nodes)],
+            "edges": [{"parent": u, "child": v}
+                      for u, v in sorted(self.graph.edges)],
+        }
+
+    def _require(self, service_id: str) -> None:
+        if service_id not in self.graph:
+            raise NetworkModelError(f"unknown service {service_id!r}")

@@ -1,0 +1,34 @@
+"""Dynamic expression-variable naming.
+
+§VI: "The variables that are used in the expression are created
+dynamically, as the services are added into the composite provider" —
+first composed service becomes ``a``, second ``b``, and so on; after ``z``
+comes ``aa``, ``ab``, ... (spreadsheet-column style)."""
+
+from __future__ import annotations
+
+__all__ = ["variable_name", "variable_index"]
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def variable_name(index: int) -> str:
+    """0 -> 'a', 25 -> 'z', 26 -> 'aa', 27 -> 'ab', ..."""
+    if index < 0:
+        raise ValueError(f"variable index must be >= 0, got {index}")
+    name = ""
+    index += 1  # bijective base-26
+    while index > 0:
+        index, rem = divmod(index - 1, 26)
+        name = _ALPHABET[rem] + name
+    return name
+
+
+def variable_index(name: str) -> int:
+    """Inverse of :func:`variable_name`."""
+    if not name or any(c not in _ALPHABET for c in name):
+        raise ValueError(f"not a variable name: {name!r}")
+    index = 0
+    for c in name:
+        index = index * 26 + (_ALPHABET.index(c) + 1)
+    return index - 1

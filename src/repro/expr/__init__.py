@@ -1,0 +1,35 @@
+"""Compute-expression language (the Groovy substitute, §V.A).
+
+Composite providers attach expressions over dynamically created variables
+(``a``, ``b``, ... one per composed service) and evaluate them against fresh
+sensor values at query time: ``evaluate("(a+b+c)/3", {...})``.
+"""
+
+from .errors import ExprError, ExprEvalError, ExprNameError, ExprSyntaxError
+from .evaluator import Expression, compile_expression, evaluate
+from .functions import BUILTINS
+from .lexer import Token, TokenType, tokenize
+from .nodes import Binary, Call, Conditional, Node, Number, Unary, Variable
+from .parser import parse
+
+__all__ = [
+    "BUILTINS",
+    "Binary",
+    "Call",
+    "Conditional",
+    "ExprError",
+    "ExprEvalError",
+    "ExprNameError",
+    "ExprSyntaxError",
+    "Expression",
+    "Node",
+    "Number",
+    "Token",
+    "TokenType",
+    "Unary",
+    "Variable",
+    "compile_expression",
+    "evaluate",
+    "parse",
+    "tokenize",
+]

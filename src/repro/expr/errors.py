@@ -1,0 +1,25 @@
+"""Expression-language errors."""
+
+from __future__ import annotations
+
+__all__ = ["ExprError", "ExprSyntaxError", "ExprNameError", "ExprEvalError"]
+
+
+class ExprError(Exception):
+    """Base class for expression failures."""
+
+
+class ExprSyntaxError(ExprError):
+    """The expression text does not parse."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message if position < 0 else f"{message} (at column {position})")
+        self.position = position
+
+
+class ExprNameError(ExprError):
+    """A variable or function name is unbound."""
+
+
+class ExprEvalError(ExprError):
+    """Evaluation failed (division by zero, domain error, bad arity...)."""

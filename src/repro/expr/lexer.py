@@ -1,0 +1,112 @@
+"""Tokenizer for compute-expressions.
+
+The paper's composite providers attach Groovy expressions like
+``(a + b + c)/3`` to sensor services. This lexer covers that surface plus
+comparisons, boolean operators and function calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .errors import ExprSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(Enum):
+    NUMBER = "number"
+    IDENT = "ident"
+    OP = "op"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    QUESTION = "?"
+    COLON = ":"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.type.name}, {self.text!r}@{self.position})"
+
+
+#: Multi-character operators first so maximal munch works.
+_OPERATORS = ("<=", ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%",
+              "^", "<", ">", "!")
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = text[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i > start:
+                    # Exponent must be followed by digits or a sign+digits.
+                    j = i + 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                    if j < n and text[j].isdigit():
+                        seen_exp = True
+                        i = j + 1
+                    else:
+                        break
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, text[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            tokens.append(Token(TokenType.IDENT, text[start:i], start))
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenType.LPAREN, ch, i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ch, i))
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenType.COMMA, ch, i))
+            i += 1
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenType.QUESTION, ch, i))
+            i += 1
+            continue
+        if ch == ":":
+            tokens.append(Token(TokenType.COLON, ch, i))
+            i += 1
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenType.OP, op, i))
+                i += len(op)
+                break
+        else:
+            raise ExprSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.END, "", n))
+    return tokens

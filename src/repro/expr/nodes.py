@@ -1,0 +1,75 @@
+"""AST node types for compute-expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Node", "Number", "Variable", "Unary", "Binary", "Call",
+           "Conditional"]
+
+
+class Node:
+    """Base AST node."""
+
+    def free_variables(self) -> set:
+        """Names this subtree reads (function names excluded)."""
+        raise NotImplementedError  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class Number(Node):
+    value: float
+
+    def free_variables(self) -> set:
+        return set()
+
+
+@dataclass(frozen=True)
+class Variable(Node):
+    name: str
+
+    def free_variables(self) -> set:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    op: str
+    operand: Node
+
+    def free_variables(self) -> set:
+        return self.operand.free_variables()
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    op: str
+    left: Node
+    right: Node
+
+    def free_variables(self) -> set:
+        return self.left.free_variables() | self.right.free_variables()
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    func: str
+    args: tuple
+
+    def free_variables(self) -> set:
+        out: set = set()
+        for arg in self.args:
+            out |= arg.free_variables()
+        return out
+
+
+@dataclass(frozen=True)
+class Conditional(Node):
+    condition: Node
+    if_true: Node
+    if_false: Node
+
+    def free_variables(self) -> set:
+        return (self.condition.free_variables()
+                | self.if_true.free_variables()
+                | self.if_false.free_variables())

@@ -1,0 +1,120 @@
+"""Pratt (top-down operator precedence) parser for compute-expressions.
+
+Grammar (loosest to tightest binding)::
+
+    conditional :  or_expr '?' expr ':' expr
+    or          :  '||'
+    and         :  '&&'
+    comparison  :  < <= > >= == !=     (non-associative chain -> left)
+    additive    :  + -
+    multiplicative : * / %
+    unary       :  - !  (prefix)
+    power       :  ^   (right associative)
+    primary     :  number | ident | ident '(' args ')' | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from .errors import ExprSyntaxError
+from .lexer import Token, TokenType, tokenize
+from .nodes import Binary, Call, Conditional, Node, Number, Unary, Variable
+
+__all__ = ["parse"]
+
+#: Binding power for left-associative infix operators.
+_INFIX_POWER = {
+    "||": (10, 11),
+    "&&": (20, 21),
+    "<": (30, 31), "<=": (30, 31), ">": (30, 31), ">=": (30, 31),
+    "==": (30, 31), "!=": (30, 31),
+    "+": (40, 41), "-": (40, 41),
+    "*": (50, 51), "/": (50, 51), "%": (50, 51),
+    "^": (61, 60),  # right associative
+}
+_UNARY_POWER = 70
+_TERNARY_POWER = 5
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, token_type: TokenType) -> Token:
+        token = self.peek()
+        if token.type is not token_type:
+            raise ExprSyntaxError(
+                f"expected {token_type.value!r}, found {token.text or 'end of input'!r}",
+                token.position)
+        return self.advance()
+
+    # -- expression parsing -----------------------------------------------------
+
+    def parse_expression(self, min_power: int = 0) -> Node:
+        left = self.parse_prefix()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OP and token.text in _INFIX_POWER:
+                left_power, right_power = _INFIX_POWER[token.text]
+                if left_power < min_power:
+                    break
+                self.advance()
+                right = self.parse_expression(right_power)
+                left = Binary(token.text, left, right)
+                continue
+            if token.type is TokenType.QUESTION and _TERNARY_POWER >= min_power:
+                self.advance()
+                if_true = self.parse_expression(0)
+                self.expect(TokenType.COLON)
+                if_false = self.parse_expression(_TERNARY_POWER)
+                left = Conditional(left, if_true, if_false)
+                continue
+            break
+        return left
+
+    def parse_prefix(self) -> Node:
+        token = self.advance()
+        if token.type is TokenType.NUMBER:
+            return Number(float(token.text))
+        if token.type is TokenType.IDENT:
+            if self.peek().type is TokenType.LPAREN:
+                self.advance()
+                args: list[Node] = []
+                if self.peek().type is not TokenType.RPAREN:
+                    args.append(self.parse_expression(0))
+                    while self.peek().type is TokenType.COMMA:
+                        self.advance()
+                        args.append(self.parse_expression(0))
+                self.expect(TokenType.RPAREN)
+                return Call(token.text, tuple(args))
+            return Variable(token.text)
+        if token.type is TokenType.LPAREN:
+            inner = self.parse_expression(0)
+            self.expect(TokenType.RPAREN)
+            return inner
+        if token.type is TokenType.OP and token.text in ("-", "!"):
+            operand = self.parse_expression(_UNARY_POWER)
+            return Unary(token.text, operand)
+        raise ExprSyntaxError(
+            f"unexpected token {token.text or 'end of input'!r}", token.position)
+
+
+def parse(text: str) -> Node:
+    """Parse expression text into an AST; raises :class:`ExprSyntaxError`."""
+    if not text or not text.strip():
+        raise ExprSyntaxError("empty expression")
+    parser = _Parser(tokenize(text))
+    node = parser.parse_expression(0)
+    trailing = parser.peek()
+    if trailing.type is not TokenType.END:
+        raise ExprSyntaxError(
+            f"unexpected trailing input {trailing.text!r}", trailing.position)
+    return node

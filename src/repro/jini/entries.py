@@ -1,0 +1,94 @@
+"""Entry attributes — Jini's typed, matchable service metadata.
+
+A lookup template carries *entry templates*: an entry in the template
+matches a candidate entry when the candidate is an instance of the template
+entry's class and every non-``None`` template field equals the candidate's
+field (``None`` is a wildcard). This is exactly Jini's entry-matching rule
+and it is what lets SenSORCER find, say, every temperature sensor in
+building "CP TTU" without knowing names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+__all__ = [
+    "Entry",
+    "Name",
+    "Comment",
+    "Location",
+    "ServiceInfo",
+    "SensorType",
+    "entry_matches",
+    "attributes_match",
+]
+
+
+@dataclass(frozen=True)
+class Entry:
+    """Base class for attribute entries. Subclasses are frozen dataclasses."""
+
+    def matches(self, candidate: "Entry") -> bool:
+        return entry_matches(self, candidate)
+
+
+def entry_matches(template: Entry, candidate: Entry) -> bool:
+    """Jini entry matching: class-compatible + non-None fields equal."""
+    if not isinstance(candidate, type(template)):
+        return False
+    for f in fields(template):
+        want = getattr(template, f.name)
+        if want is not None and getattr(candidate, f.name) != want:
+            return False
+    return True
+
+
+def attributes_match(templates, attributes) -> bool:
+    """Every template entry must match at least one candidate attribute."""
+    for tmpl in templates:
+        if not any(entry_matches(tmpl, attr) for attr in attributes):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class Name(Entry):
+    """The service's human-readable name (net.jini.lookup.entry.Name)."""
+
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Comment(Entry):
+    comment: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Location(Entry):
+    """Physical placement, as shown in the paper's Fig 2 entry pane."""
+
+    floor: Optional[str] = None
+    room: Optional[str] = None
+    building: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ServiceInfo(Entry):
+    name: Optional[str] = None
+    manufacturer: Optional[str] = None
+    vendor: Optional[str] = None
+    version: Optional[str] = None
+    model: Optional[str] = None
+    serial_number: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SensorType(Entry):
+    """SenSORCER-specific: what a sensor service measures and with what
+    technology (lets requestors select by quantity, not by name)."""
+
+    quantity: Optional[str] = None        # "temperature", "humidity", ...
+    unit: Optional[str] = None            # "celsius", ...
+    technology: Optional[str] = None      # "sunspot", "onewire", ...
+    service_kind: Optional[str] = None    # "ELEMENTARY" | "COMPOSITE"

@@ -1,0 +1,64 @@
+"""Distributed events: remote event objects and registrations.
+
+A listener is any exported object with a ``notify(remote_event)`` method;
+its :class:`~repro.net.rpc.RemoteRef` is handed to the event source. Event
+delivery is at-most-once per event with no ordering guarantee across
+sources, but each source stamps a per-registration sequence number so
+listeners can detect gaps — Jini semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..net.rpc import RemoteRef
+from .lease import Lease
+
+__all__ = [
+    "RemoteEvent",
+    "ServiceEvent",
+    "EventRegistration",
+    "TRANSITION_MATCH_NOMATCH",
+    "TRANSITION_NOMATCH_MATCH",
+    "TRANSITION_MATCH_MATCH",
+]
+
+#: Service was matching the template and no longer is (left / lease lapsed).
+TRANSITION_MATCH_NOMATCH = 1
+#: Service newly matches (joined the network).
+TRANSITION_NOMATCH_MATCH = 2
+#: Service still matches but its registration changed (attributes updated).
+TRANSITION_MATCH_MATCH = 4
+
+ALL_TRANSITIONS = (TRANSITION_MATCH_NOMATCH | TRANSITION_NOMATCH_MATCH
+                   | TRANSITION_MATCH_MATCH)
+
+
+@dataclass
+class RemoteEvent:
+    """Base distributed event."""
+
+    source: str          # id of the emitting service
+    event_id: int        # registration this event belongs to
+    sequence: int        # per-registration monotone counter
+    handback: Any = None  # opaque object the listener registered with
+
+
+@dataclass
+class ServiceEvent(RemoteEvent):
+    """Lookup-service event: a service transitioned w.r.t. a template."""
+
+    service_id: str = ""
+    transition: int = 0
+    #: Snapshot of the item after the transition (None for MATCH_NOMATCH).
+    item: Any = None
+
+
+@dataclass
+class EventRegistration:
+    """Returned by notify(): identifies the interest and carries its lease."""
+
+    event_id: int
+    source: str
+    lease: Lease

@@ -1,0 +1,146 @@
+"""Leases — Jini's time-bounded resource grants.
+
+Everything a Jini service hands out (registrations, event interest,
+transactions, space entries) is leased: the grantor promises the resource
+only until ``expiration`` and the holder must renew. When a holder dies, its
+leases lapse and the grantor reclaims the resource — this is the mechanism
+the paper credits for keeping the sensor network "healthy and robust"
+(§IV.B).
+
+:class:`Landlord` is the grantor-side bookkeeping (the name comes from
+Jini's landlord lease paradigm); :class:`Lease` is the serializable
+holder-side handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..sim import Environment
+
+__all__ = ["Lease", "Landlord", "LeaseDeniedError", "UnknownLeaseError", "FOREVER"]
+
+#: Request duration meaning "as long as you'll give me".
+FOREVER = float("inf")
+
+
+class LeaseDeniedError(Exception):
+    """Grantor refused to grant or renew a lease."""
+
+
+class UnknownLeaseError(Exception):
+    """Lease id is not (or no longer) known to the grantor."""
+
+
+@dataclass
+class Lease:
+    """Holder-side lease handle (pure data; renewal goes through the grantor)."""
+
+    lease_id: int
+    expiration: float
+    duration: float
+
+    def remaining(self, now: float) -> float:
+        return max(0.0, self.expiration - now)
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expiration
+
+
+@dataclass
+class _LeaseRecord:
+    lease_id: int
+    resource_id: Any
+    expiration: float
+
+
+class Landlord:
+    """Grantor-side lease table.
+
+    The owner supplies ``on_expire(resource_id)`` which is invoked by
+    :meth:`reap` for every lapsed lease — that is where a lookup service
+    deregisters the service, an event registration is dropped, etc.
+    """
+
+    def __init__(self, env: Environment,
+                 max_duration: float = 300.0,
+                 on_expire: Optional[Callable[[Any], None]] = None):
+        self.env = env
+        self.max_duration = max_duration
+        self.on_expire = on_expire
+        self._leases: dict[int, _LeaseRecord] = {}
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def _clamp(self, duration: float) -> float:
+        if duration <= 0:
+            raise LeaseDeniedError(f"non-positive lease duration {duration}")
+        return min(duration, self.max_duration)
+
+    def grant(self, resource_id: Any, duration: float) -> Lease:
+        duration = self._clamp(duration)
+        lease_id = self._next_id
+        self._next_id += 1
+        record = _LeaseRecord(lease_id, resource_id, self.env.now + duration)
+        self._leases[lease_id] = record
+        return Lease(lease_id=lease_id, expiration=record.expiration,
+                     duration=duration)
+
+    def renew(self, lease_id: int, duration: float) -> Lease:
+        record = self._leases.get(lease_id)
+        if record is None:
+            raise UnknownLeaseError(f"lease {lease_id} unknown or expired")
+        if record.expiration <= self.env.now:
+            # Lapsed but not yet reaped: treat as gone.
+            self._expire(record)
+            raise UnknownLeaseError(f"lease {lease_id} already expired")
+        duration = self._clamp(duration)
+        record.expiration = self.env.now + duration
+        return Lease(lease_id=lease_id, expiration=record.expiration,
+                     duration=duration)
+
+    def cancel(self, lease_id: int) -> Any:
+        """Cancel and return the resource id (without firing on_expire)."""
+        record = self._leases.pop(lease_id, None)
+        if record is None:
+            raise UnknownLeaseError(f"lease {lease_id} unknown")
+        return record.resource_id
+
+    def resource_of(self, lease_id: int) -> Any:
+        record = self._leases.get(lease_id)
+        if record is None:
+            raise UnknownLeaseError(f"lease {lease_id} unknown")
+        return record.resource_id
+
+    def is_active(self, lease_id: int) -> bool:
+        record = self._leases.get(lease_id)
+        return record is not None and record.expiration > self.env.now
+
+    def clear(self) -> None:
+        """Drop all leases without firing ``on_expire`` (process death)."""
+        self._leases.clear()
+
+    def reap(self) -> list[Any]:
+        """Expire all lapsed leases; returns their resource ids."""
+        now = self.env.now
+        lapsed = [r for r in self._leases.values() if r.expiration <= now]
+        expired_resources = []
+        for record in lapsed:
+            self._expire(record)
+            expired_resources.append(record.resource_id)
+        return expired_resources
+
+    def _expire(self, record: _LeaseRecord) -> None:
+        self._leases.pop(record.lease_id, None)
+        if self.on_expire is not None:
+            self.on_expire(record.resource_id)
+
+    def sweeper(self, interval: float):
+        """A kernel process that reaps periodically; run it with
+        ``env.process(landlord.sweeper(1.0))``."""
+        while True:
+            yield self.env.timeout(interval)
+            self.reap()

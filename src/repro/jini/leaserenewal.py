@@ -1,0 +1,86 @@
+"""Lease renewal service — renews leases on behalf of clients.
+
+A device that sleeps (a duty-cycled sensor, say) cannot renew its own
+registration leases; it delegates them to this always-on service. Part of
+the Fig 2 infrastructure inventory ("Lease Renewal Service").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.errors import NetworkError, RemoteError
+from ..net.host import Host
+from ..net.rpc import RemoteRef, rpc_endpoint
+from .lease import Lease
+
+__all__ = ["LeaseRenewalService"]
+
+
+@dataclass
+class _ManagedLease:
+    set_id: str
+    grantor: RemoteRef
+    lease: Lease
+    renew_duration: float
+    until: float
+    alive: bool = True
+
+
+class LeaseRenewalService:
+    """Norm-equivalent service: clients hand over leases for safe keeping."""
+
+    REMOTE_TYPES = ("LeaseRenewalService",)
+    REMOTE_METHODS = ("create_set", "add_lease", "remove_set")
+
+    def __init__(self, host: Host, check_interval: float = 1.0):
+        self.host = host
+        self.env = host.env
+        self._endpoint = rpc_endpoint(host)
+        self._sets: dict[str, list[_ManagedLease]] = {}
+        self.check_interval = check_interval
+        self.ref = self._endpoint.export(self, f"norm:{host.name}",
+                                         methods=self.REMOTE_METHODS)
+
+    # -- remote API -------------------------------------------------------------
+
+    def create_set(self, duration: float = 3600.0) -> str:
+        set_id = self.host.network.ids.uuid()
+        self._sets[set_id] = []
+        self.env.process(self._expire_set(set_id, duration),
+                         name=f"norm-set:{set_id[:8]}")
+        return set_id
+
+    def add_lease(self, set_id: str, grantor: RemoteRef, lease: Lease,
+                  renew_duration: float, until: float) -> None:
+        if set_id not in self._sets:
+            raise KeyError(f"unknown renewal set {set_id!r}")
+        managed = _ManagedLease(set_id, grantor, lease, renew_duration, until)
+        self._sets[set_id].append(managed)
+        self.env.process(self._renewal_loop(managed),
+                         name=f"norm-renew:{lease.lease_id}")
+
+    def remove_set(self, set_id: str) -> None:
+        for managed in self._sets.pop(set_id, []):
+            managed.alive = False
+
+    # -- internals ------------------------------------------------------------------
+
+    def _expire_set(self, set_id: str, duration: float):
+        yield self.env.timeout(duration)
+        self.remove_set(set_id)
+
+    def _renewal_loop(self, managed: _ManagedLease):
+        while managed.alive and self.env.now < managed.until:
+            wait = max(0.1, managed.lease.remaining(self.env.now) / 2)
+            yield self.env.timeout(wait)
+            if not managed.alive or self.env.now >= managed.until:
+                return
+            if not self.host.up:
+                continue
+            try:
+                managed.lease = yield self._endpoint.call(
+                    managed.grantor, "renew_lease", managed.lease.lease_id,
+                    managed.renew_duration, timeout=3.0)
+            except (RemoteError, NetworkError):
+                managed.alive = False  # lease lost; nothing more to do

@@ -1,0 +1,262 @@
+"""The lookup service (LUS) — Jini's service registry.
+
+Providers register :class:`~repro.jini.template.ServiceItem`s under leases;
+requestors look up by :class:`~repro.jini.template.ServiceTemplate`;
+interested parties register event listeners that are told when services
+arrive, leave or change. The LUS answers discovery probes and multicasts
+periodic announcements.
+
+Crash semantics: LUS state is in-memory, so a host crash wipes the registry
+(as a JVM death would). When the host recovers the LUS resumes announcing
+empty; join managers re-register on rediscovery — this is the self-healing
+behaviour the paper relies on (§VII "plug-and-play").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..net.host import Host
+from ..net.message import Message
+from ..net.rpc import RemoteRef, rpc_endpoint
+from .discovery import ANNOUNCE_PORT, DISCOVERY_GROUP, PROBE_PORT
+from .events import (
+    ALL_TRANSITIONS,
+    EventRegistration,
+    ServiceEvent,
+    TRANSITION_MATCH_MATCH,
+    TRANSITION_MATCH_NOMATCH,
+    TRANSITION_NOMATCH_MATCH,
+)
+from .lease import Landlord, Lease, UnknownLeaseError
+from .template import ServiceItem, ServiceTemplate
+
+__all__ = ["LookupService", "ServiceRegistration"]
+
+
+class ServiceRegistration:
+    """Returned by :meth:`LookupService.register`."""
+
+    def __init__(self, service_id: str, lease: Lease, lus_id: str):
+        self.service_id = service_id
+        self.lease = lease
+        self.lus_id = lus_id
+
+
+class _Interest:
+    """One event registration: template + transitions + listener."""
+
+    def __init__(self, event_id: int, template: ServiceTemplate,
+                 transitions: int, listener: RemoteRef, handback: Any):
+        self.event_id = event_id
+        self.template = template
+        self.transitions = transitions
+        self.listener = listener
+        self.handback = handback
+        self.sequence = 0
+
+
+class LookupService:
+    """A lookup service living on one simulated host."""
+
+    REMOTE_TYPES = ("ServiceRegistrar",)
+
+    #: Remote methods callable through the proxy.
+    REMOTE_METHODS = ("register", "renew_lease", "cancel_lease", "lookup",
+                      "lookup_all", "notify", "cancel_notify", "service_ids",
+                      "registrations")
+
+    def __init__(self, host: Host, name: str = "Lookup Service",
+                 max_lease: float = 300.0,
+                 sweep_interval: float = 1.0,
+                 announce_interval: float = 10.0,
+                 groups: tuple = ("public",)):
+        self.host = host
+        self.env = host.env
+        self.name = name
+        self.lus_id = host.network.ids.uuid()
+        self.announce_interval = announce_interval
+        #: Administrative groups this registrar serves (Jini group scoping).
+        self.groups = frozenset(groups)
+        self._items: dict[str, ServiceItem] = {}
+        self._interests: dict[int, _Interest] = {}
+        # One landlord, resources tagged ("reg", service_id) / ("event", event_id).
+        self._landlord = Landlord(host.env, max_duration=max_lease,
+                                  on_expire=self._on_lease_expired)
+        self._lease_of_service: dict[str, int] = {}
+        self._sweep_interval = sweep_interval
+        endpoint = rpc_endpoint(host)
+        self.ref = endpoint.export(self, f"lus:{self.lus_id}",
+                                   methods=self.REMOTE_METHODS)
+        self._started = False
+        host.on_fail(self._on_host_fail)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.host.join_group(DISCOVERY_GROUP)
+        self.host.open_port(PROBE_PORT, self._on_probe)
+        self.env.process(self._landlord.sweeper(self._sweep_interval),
+                         name=f"lus-sweep:{self.lus_id[:8]}")
+        self.env.process(self._announcer(), name=f"lus-announce:{self.lus_id[:8]}")
+
+    def _announce_payload(self):
+        return (self.lus_id, self.ref, tuple(sorted(self.groups)))
+
+    def _announcer(self):
+        while True:
+            if self.host.up:
+                self.host.multicast(DISCOVERY_GROUP, ANNOUNCE_PORT,
+                                    kind="discovery-announce",
+                                    payload=self._announce_payload())
+            yield self.env.timeout(self.announce_interval)
+
+    def _on_probe(self, msg: Message) -> None:
+        requester, requester_groups = msg.payload
+        wanted = frozenset(requester_groups)
+        if "*" not in wanted and not (wanted & self.groups):
+            return  # the prober is not interested in our groups
+        if self.host.up:
+            self.host.send(requester, ANNOUNCE_PORT, kind="discovery-announce",
+                           payload=self._announce_payload())
+
+    def _on_host_fail(self, host: Host) -> None:
+        # In-memory registry dies with the process.
+        self._items.clear()
+        self._lease_of_service.clear()
+        self._interests.clear()
+        self._landlord.clear()
+
+    # -- remote API -------------------------------------------------------------
+
+    def register(self, item: ServiceItem, lease_duration: float) -> ServiceRegistration:
+        """Register (or re-register) a service item."""
+        if not item.service_id:
+            raise ValueError("ServiceItem.service_id must be set")
+        previous = self._items.get(item.service_id)
+        # Replace any existing lease for this service.
+        old_lease_id = self._lease_of_service.pop(item.service_id, None)
+        if old_lease_id is not None:
+            try:
+                self._landlord.cancel(old_lease_id)
+            except UnknownLeaseError:
+                pass
+        lease = self._landlord.grant(("reg", item.service_id), lease_duration)
+        self._lease_of_service[item.service_id] = lease.lease_id
+        self._items[item.service_id] = item
+        self._fire_transitions(previous, item)
+        return ServiceRegistration(item.service_id, lease, self.lus_id)
+
+    def renew_lease(self, lease_id: int, duration: float) -> Lease:
+        return self._landlord.renew(lease_id, duration)
+
+    def cancel_lease(self, lease_id: int) -> None:
+        resource = self._landlord.cancel(lease_id)
+        self._release_resource(resource)
+
+    def lookup(self, template: ServiceTemplate,
+               max_matches: int = 1) -> list[ServiceItem]:
+        """Return up to ``max_matches`` matching items (registration order)."""
+        out = []
+        for item in self._items.values():
+            if template.matches(item):
+                out.append(item)
+                if len(out) >= max_matches:
+                    break
+        return out
+
+    def lookup_all(self, template: Optional[ServiceTemplate] = None) -> list[ServiceItem]:
+        if template is None:
+            return list(self._items.values())
+        return [item for item in self._items.values() if template.matches(item)]
+
+    def service_ids(self) -> list[str]:
+        return list(self._items.keys())
+
+    def registrations(self) -> list[dict]:
+        """Admin view: every registration with its lease state (the data
+        behind the Inca X Admin tab of the paper's Fig 2)."""
+        out = []
+        for service_id, item in self._items.items():
+            lease_id = self._lease_of_service.get(service_id)
+            expires = None
+            if lease_id is not None:
+                record = self._landlord._leases.get(lease_id)
+                if record is not None:
+                    expires = record.expiration
+            out.append({
+                "service_id": service_id,
+                "name": item.name(),
+                "host": item.service.host,
+                "lease_expires_at": expires,
+                "lease_remaining": (None if expires is None
+                                    else max(0.0, expires - self.env.now)),
+            })
+        return out
+
+    def notify(self, template: ServiceTemplate, transitions: int,
+               listener: RemoteRef, handback: Any = None,
+               lease_duration: float = 300.0) -> EventRegistration:
+        """Register interest in service transitions w.r.t. ``template``."""
+        event_id = self.host.network.ids.sequence()
+        interest = _Interest(event_id, template, transitions, listener, handback)
+        self._interests[event_id] = interest
+        lease = self._landlord.grant(("event", event_id), lease_duration)
+        return EventRegistration(event_id=event_id, source=self.lus_id, lease=lease)
+
+    def cancel_notify(self, event_id: int) -> None:
+        self._interests.pop(event_id, None)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _on_lease_expired(self, resource) -> None:
+        self._release_resource(resource)
+
+    def _release_resource(self, resource) -> None:
+        kind, key = resource
+        if kind == "reg":
+            self._lease_of_service.pop(key, None)
+            item = self._items.pop(key, None)
+            if item is not None:
+                self._fire_transitions(item, None)
+        elif kind == "event":
+            self._interests.pop(key, None)
+
+    def _fire_transitions(self, before: Optional[ServiceItem],
+                          after: Optional[ServiceItem]) -> None:
+        for interest in list(self._interests.values()):
+            was = before is not None and interest.template.matches(before)
+            now = after is not None and interest.template.matches(after)
+            if was and not now:
+                transition = TRANSITION_MATCH_NOMATCH
+            elif not was and now:
+                transition = TRANSITION_NOMATCH_MATCH
+            elif was and now:
+                transition = TRANSITION_MATCH_MATCH
+            else:
+                continue
+            if not (interest.transitions & transition):
+                continue
+            interest.sequence += 1
+            service_id = (after or before).service_id
+            event = ServiceEvent(
+                source=self.lus_id, event_id=interest.event_id,
+                sequence=interest.sequence, handback=interest.handback,
+                service_id=service_id, transition=transition, item=after)
+            self.env.process(self._deliver(interest, event),
+                             name=f"lus-notify:{service_id[:8]}")
+
+    def _deliver(self, interest: _Interest, event: ServiceEvent):
+        if not self.host.up:
+            return
+        endpoint = rpc_endpoint(self.host)
+        try:
+            yield endpoint.call(interest.listener, "notify", event,
+                                kind="service-event", timeout=3.0)
+        except Exception:
+            # Unreachable listener: Jini drops the event; the lease mechanism
+            # eventually reaps dead registrations.
+            pass

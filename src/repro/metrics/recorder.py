@@ -1,0 +1,63 @@
+"""Measurement recording for experiments and benchmarks.
+
+A :class:`Recorder` accumulates named samples and counters during a
+simulation run and summarizes them (mean, percentiles, extrema) — the
+numbers the benchmark harness prints as the paper-style result rows.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+__all__ = ["Recorder"]
+
+
+class Recorder:
+    """Named sample series + counters."""
+
+    def __init__(self):
+        self._series: dict[str, list[float]] = defaultdict(list)
+        self._counters: dict[str, float] = defaultdict(float)
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, name: str, value: float) -> None:
+        self._series[name].append(float(value))
+
+    def count(self, name: str, increment: float = 1.0) -> None:
+        self._counters[name] += increment
+
+    # -- reading ----------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self._counters[name]
+
+    def samples(self, name: str) -> list[float]:
+        return list(self._series[name])
+
+    def series_names(self) -> list[str]:
+        return sorted(self._series)
+
+    def summary(self, name: str) -> dict:
+        values = np.array(self._series.get(name, ()), dtype=float)
+        if values.size == 0:
+            return {"count": 0, "mean": None, "p50": None, "p95": None,
+                    "min": None, "max": None, "total": 0.0}
+        return {
+            "count": int(values.size),
+            "mean": float(values.mean()),
+            "p50": float(np.percentile(values, 50)),
+            "p95": float(np.percentile(values, 95)),
+            "min": float(values.min()),
+            "max": float(values.max()),
+            "total": float(values.sum()),
+        }
+
+    def merge(self, other: "Recorder") -> "Recorder":
+        for name, values in other._series.items():
+            self._series[name].extend(values)
+        for name, value in other._counters.items():
+            self._counters[name] += value
+        return self

@@ -1,0 +1,54 @@
+"""Network- and RPC-level exceptions.
+
+These model *distributed-system* failures (the kind Jini programming makes
+explicit) rather than programming errors: a call can time out, the remote
+object can be gone, or the remote method can raise.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NetworkError",
+    "HostDownError",
+    "NoSuchObjectError",
+    "NoSuchPortError",
+    "RemoteError",
+    "RpcTimeout",
+    "UnreachableError",
+]
+
+
+class NetworkError(Exception):
+    """Base class for all modelled network failures."""
+
+
+class HostDownError(NetworkError):
+    """An operation was attempted from or on a crashed host."""
+
+
+class UnreachableError(NetworkError):
+    """Destination is unreachable (partition or unknown host)."""
+
+
+class NoSuchPortError(NetworkError):
+    """Message arrived for a port nobody listens on."""
+
+
+class NoSuchObjectError(NetworkError):
+    """RPC addressed an object id not exported on the target host."""
+
+
+class RpcTimeout(NetworkError):
+    """No reply arrived within the call's timeout."""
+
+
+class RemoteError(NetworkError):
+    """The remote method raised; wraps the original exception.
+
+    Mirrors Jini/RMI semantics: the caller sees a single remote-failure
+    type carrying the server-side cause.
+    """
+
+    def __init__(self, cause: BaseException):
+        super().__init__(f"remote invocation failed: {cause!r}")
+        self.cause = cause

@@ -1,0 +1,80 @@
+"""Link latency and loss models.
+
+The default models a switched lab LAN (the paper's SORCER Lab deployment):
+sub-millisecond base latency, 100 Mbit/s serialization delay, small jitter.
+All randomness comes from a caller-supplied :class:`numpy.random.Generator`
+so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+__all__ = ["LatencyModel", "LanLatency", "FixedLatency", "LossModel",
+           "NoLoss", "BernoulliLoss"]
+
+
+class LatencyModel:
+    """Computes the one-way delay for a message."""
+
+    def delay(self, src: str, dst: str, size_bytes: int) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Constant delay regardless of endpoints and size (useful in tests)."""
+
+    def __init__(self, seconds: float):
+        self.seconds = float(seconds)
+
+    def delay(self, src: str, dst: str, size_bytes: int) -> float:
+        return self.seconds
+
+
+class LanLatency(LatencyModel):
+    """Base propagation + serialization + lognormal-ish jitter.
+
+    ``delay = base + size/bandwidth + jitter`` where jitter is drawn from an
+    exponential distribution with mean ``jitter_mean`` (heavy-ish tail, like
+    switch queueing).
+    """
+
+    def __init__(self, rng: np.random.Generator,
+                 base: float = 0.0005,
+                 bandwidth_bps: float = 100e6,
+                 jitter_mean: float = 0.0002):
+        self.rng = rng
+        self.base = base
+        self.bandwidth_bps = bandwidth_bps
+        self.jitter_mean = jitter_mean
+
+    def delay(self, src: str, dst: str, size_bytes: int) -> float:
+        serialization = size_bytes * 8.0 / self.bandwidth_bps
+        jitter = float(self.rng.exponential(self.jitter_mean)) if self.jitter_mean > 0 else 0.0
+        return self.base + serialization + jitter
+
+
+class LossModel:
+    """Decides whether a message is dropped in flight."""
+
+    def dropped(self, src: str, dst: str, size_bytes: int) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+class NoLoss(LossModel):
+    def dropped(self, src: str, dst: str, size_bytes: int) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Independent drop probability per message."""
+
+    def __init__(self, rng: np.random.Generator, probability: float):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability {probability} outside [0, 1]")
+        self.rng = rng
+        self.probability = probability
+
+    def dropped(self, src: str, dst: str, size_bytes: int) -> bool:
+        return bool(self.rng.random() < self.probability)

@@ -1,0 +1,56 @@
+"""Message envelope carried by the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .wire import Protocol, estimate_size, header_size
+
+__all__ = ["Message", "MTU_PAYLOAD"]
+
+#: Bytes of payload per segment before another header is charged (an
+#: Ethernet-ish MTU minus transport headers). Large payloads — exertions,
+#: history replies — pay one header per segment, like real TCP streams.
+MTU_PAYLOAD = 1460
+
+
+@dataclass
+class Message:
+    """A single datagram/segment between two simulated hosts.
+
+    ``kind`` is a free-form category label ("rpc-request", "discovery-probe",
+    "sensor-report", …) used by the per-category traffic accounting that the
+    overhead benchmark (E-OVH) reports on.
+    """
+
+    src: str
+    dst: str
+    port: str
+    kind: str
+    payload: Any = None
+    protocol: Protocol = Protocol.TCP
+    #: Filled in by the network at send time.
+    payload_bytes: int = field(default=0)
+    header_bytes: int = field(default=0)
+    sent_at: float = field(default=0.0)
+    #: True once sizes are computed (multicast copies share the template's
+    #: sizes instead of re-estimating an identical payload per receiver).
+    sized: bool = field(default=False)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.payload_bytes + self.header_bytes
+
+    @property
+    def segments(self) -> int:
+        return max(1, -(-self.payload_bytes // MTU_PAYLOAD))
+
+    def finalize_sizes(self) -> None:
+        """Compute and cache payload/header sizes (headers per segment)."""
+        if self.sized:
+            return
+        self.payload_bytes = estimate_size(self.payload)
+        per_segment = header_size(self.protocol)
+        self.header_bytes = per_segment * self.segments
+        self.sized = True

@@ -1,0 +1,220 @@
+"""The simulated network: hosts, unicast/multicast delivery, partitions and
+traffic accounting.
+
+Replaces the physical LAN of the paper's SORCER Lab deployment. Delivery is
+asynchronous: :meth:`Network.send` schedules the message for the destination
+after the latency model's delay; loss and partitions silently drop messages
+(exactly what a requestor on a real network would observe — hence Jini's
+leases and timeouts on top).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..sim import Environment
+from ..util.ids import IdSource
+from .errors import HostDownError, UnreachableError
+from .latency import LanLatency, LatencyModel, LossModel, NoLoss
+from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .host import Host
+
+__all__ = ["Network", "TrafficStats"]
+
+
+@dataclass
+class TrafficStats:
+    """Cumulative traffic counters, overall and per message ``kind``."""
+
+    messages: int = 0
+    payload_bytes: int = 0
+    header_bytes: int = 0
+    dropped: int = 0
+    by_kind: dict = field(default_factory=lambda: defaultdict(
+        lambda: {"messages": 0, "payload_bytes": 0, "header_bytes": 0}))
+    #: Per-host link accounting: host -> {"sent": bytes, "received": bytes,
+    #: "sent_messages": n, "received_messages": n}. "received" counts bytes
+    #: addressed to the host (its ingress link carries them even if the
+    #: host later drops them).
+    by_host: dict = field(default_factory=lambda: defaultdict(
+        lambda: {"sent": 0, "received": 0,
+                 "sent_messages": 0, "received_messages": 0}))
+
+    @property
+    def total_bytes(self) -> int:
+        return self.payload_bytes + self.header_bytes
+
+    def record(self, msg: Message) -> None:
+        self.messages += 1
+        self.payload_bytes += msg.payload_bytes
+        self.header_bytes += msg.header_bytes
+        slot = self.by_kind[msg.kind]
+        slot["messages"] += 1
+        slot["payload_bytes"] += msg.payload_bytes
+        slot["header_bytes"] += msg.header_bytes
+        total = msg.total_bytes
+        sender = self.by_host[msg.src]
+        sender["sent"] += total
+        sender["sent_messages"] += 1
+        receiver = self.by_host[msg.dst]
+        receiver["received"] += total
+        receiver["received_messages"] += 1
+
+    def host_bytes(self, host: str) -> dict:
+        return dict(self.by_host[host])
+
+    def snapshot(self) -> dict:
+        return {
+            "messages": self.messages,
+            "payload_bytes": self.payload_bytes,
+            "header_bytes": self.header_bytes,
+            "total_bytes": self.total_bytes,
+            "dropped": self.dropped,
+            "by_kind": {k: dict(v) for k, v in self.by_kind.items()},
+        }
+
+
+class Network:
+    """Connects :class:`~repro.net.host.Host` instances.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    rng:
+        Source of randomness for default latency model.
+    latency, loss:
+        Pluggable models; defaults are a lab LAN with no loss.
+    """
+
+    def __init__(self, env: Environment,
+                 rng: Optional[np.random.Generator] = None,
+                 latency: Optional[LatencyModel] = None,
+                 loss: Optional[LossModel] = None):
+        self.env = env
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.latency = latency if latency is not None else LanLatency(self.rng)
+        self.loss = loss if loss is not None else NoLoss()
+        self.ids = IdSource(np.random.default_rng(self.rng.integers(2**32)))
+        self.hosts: dict[str, "Host"] = {}
+        self.groups: dict[str, set[str]] = defaultdict(set)
+        #: Unordered host-name pairs that cannot currently talk.
+        self._cut_links: set[frozenset] = set()
+        self.stats = TrafficStats()
+        #: Instrumentation taps: callables invoked with every sent message
+        #: (after sizes are finalized, before loss/partition decisions).
+        self._taps: list = []
+
+    def tap(self, fn) -> None:
+        """Register a message observer (benchmark instrumentation)."""
+        self._taps.append(fn)
+
+    def untap(self, fn) -> None:
+        try:
+            self._taps.remove(fn)
+        except ValueError:
+            pass
+
+    # -- membership ---------------------------------------------------------
+
+    def attach(self, host: "Host") -> None:
+        if host.name in self.hosts:
+            raise ValueError(f"duplicate host name {host.name!r}")
+        self.hosts[host.name] = host
+
+    def host(self, name: str) -> "Host":
+        return self.hosts[name]
+
+    # -- multicast groups -----------------------------------------------------
+
+    def join_group(self, group: str, host_name: str) -> None:
+        self.groups[group].add(host_name)
+
+    def leave_group(self, group: str, host_name: str) -> None:
+        self.groups[group].discard(host_name)
+
+    def group_members(self, group: str) -> set[str]:
+        return set(self.groups.get(group, ()))
+
+    # -- partitions -----------------------------------------------------------
+
+    def cut_link(self, a: str, b: str) -> None:
+        """Make ``a`` and ``b`` mutually unreachable until healed."""
+        self._cut_links.add(frozenset((a, b)))
+
+    def heal_link(self, a: str, b: str) -> None:
+        self._cut_links.discard(frozenset((a, b)))
+
+    def partition(self, side_a: list[str], side_b: list[str]) -> None:
+        for a in side_a:
+            for b in side_b:
+                self.cut_link(a, b)
+
+    def heal_partition(self, side_a: list[str], side_b: list[str]) -> None:
+        for a in side_a:
+            for b in side_b:
+                self.heal_link(a, b)
+
+    def reachable(self, src: str, dst: str) -> bool:
+        return frozenset((src, dst)) not in self._cut_links
+
+    # -- delivery ---------------------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        """Send ``msg`` asynchronously. Never blocks; never reports failure.
+
+        Raises :class:`HostDownError` only if the *sender* is down (a crashed
+        host cannot transmit) and :class:`UnreachableError` for an unknown
+        destination name — both are programming-model errors, not in-flight
+        losses.
+        """
+        sender = self.hosts.get(msg.src)
+        if sender is None or not sender.up:
+            raise HostDownError(f"sender {msg.src!r} is down or unknown")
+        if msg.dst not in self.hosts:
+            raise UnreachableError(f"unknown destination {msg.dst!r}")
+        msg.finalize_sizes()
+        msg.sent_at = self.env.now
+        self.stats.record(msg)
+        for tap in self._taps:
+            tap(msg)
+        if not self.reachable(msg.src, msg.dst):
+            self.stats.dropped += 1
+            return
+        if self.loss.dropped(msg.src, msg.dst, msg.total_bytes):
+            self.stats.dropped += 1
+            return
+        delay = self.latency.delay(msg.src, msg.dst, msg.total_bytes)
+        self.env.process(self._deliver(msg, delay), name=f"deliver:{msg.kind}")
+
+    def multicast(self, group: str, msg_template: Message) -> int:
+        """Deliver a copy of the message to every group member except the
+        sender. Returns the number of copies sent."""
+        count = 0
+        msg_template.finalize_sizes()  # size the identical payload once
+        for member in sorted(self.groups.get(group, ())):
+            if member == msg_template.src:
+                continue
+            copy = Message(
+                src=msg_template.src, dst=member, port=msg_template.port,
+                kind=msg_template.kind, payload=msg_template.payload,
+                protocol=msg_template.protocol,
+                payload_bytes=msg_template.payload_bytes,
+                header_bytes=msg_template.header_bytes, sized=True)
+            self.send(copy)
+            count += 1
+        return count
+
+    def _deliver(self, msg: Message, delay: float):
+        yield self.env.timeout(delay)
+        host = self.hosts.get(msg.dst)
+        if host is None or not host.up:
+            self.stats.dropped += 1
+            return
+        host._receive(msg)

@@ -1,0 +1,222 @@
+"""Remote method invocation over the simulated network.
+
+Models Jini-ERI style invocation: a client holds a :class:`RemoteRef` (the
+"proxy") naming a host and an exported object id; a call is a request
+message, server-side execution (which may itself be a simulated process that
+sleeps, computes and makes further remote calls) and a reply message.
+
+Every host gets one lazily created :class:`RpcEndpoint` (see
+:func:`rpc_endpoint`) which serves both roles: it exports local objects and
+issues outbound calls. Calls return kernel events, so caller code reads::
+
+    value = yield endpoint.call(ref, "getValue", path)
+
+Failure semantics match the real thing: lost requests or replies surface as
+:class:`RpcTimeout`; a server-side exception surfaces as
+:class:`RemoteError` wrapping the cause.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from itertools import count
+from typing import Any, Iterable, Optional
+
+from ..sim import Event
+from .errors import NoSuchObjectError, RemoteError, RpcTimeout
+from .host import Host
+from .message import Message
+from .wire import Protocol, WireSized
+
+__all__ = ["RemoteRef", "RpcEndpoint", "rpc_endpoint"]
+
+REQUEST_PORT = "rpc.req"
+REPLY_PORT = "rpc.rep"
+DEFAULT_TIMEOUT = 5.0
+
+
+@dataclass(frozen=True)
+class RemoteRef(WireSized):
+    """A serializable handle to an object exported on some host.
+
+    ``type_names`` lists the remote interfaces the object claims to
+    implement; lookup-service template matching uses them.
+    """
+
+    host: str
+    object_id: str
+    type_names: tuple = ()
+
+    def wire_size(self) -> int:
+        return 48 + len(self.host) + sum(len(t) for t in self.type_names)
+
+    def implements(self, type_name: str) -> bool:
+        return type_name in self.type_names
+
+
+def _remote_type_names(obj: Any) -> tuple:
+    """Collect declared remote interface names from the object's MRO.
+
+    A class opts into a remote type by listing names in ``REMOTE_TYPES``;
+    an instance may extend the set with its own ``REMOTE_TYPES`` attribute
+    (service providers compute their types at construction time); otherwise
+    the class name itself is used.
+    """
+    names: list[str] = []
+    instance_types = vars(obj).get("REMOTE_TYPES") if hasattr(obj, "__dict__") else None
+    if instance_types:
+        names.extend(instance_types)
+    for klass in type(obj).__mro__:
+        declared = klass.__dict__.get("REMOTE_TYPES")
+        if declared:
+            for name in declared:
+                if name not in names:
+                    names.append(name)
+    if not names:
+        names.append(type(obj).__name__)
+    return tuple(names)
+
+
+class _PendingCall:
+    def __init__(self, event: Event, started_at: float):
+        self.event = event
+        self.started_at = started_at
+
+
+class RpcEndpoint:
+    """Per-host RPC stack (server + client)."""
+
+    def __init__(self, host: Host):
+        self.host = host
+        self.env = host.env
+        self._objects: dict[str, Any] = {}
+        self._allowed: dict[str, Optional[frozenset]] = {}
+        self._pending: dict[int, _PendingCall] = {}
+        self._request_ids = count(1)
+        host.open_port(REQUEST_PORT, self._on_request)
+        host.open_port(REPLY_PORT, self._on_reply)
+        host.on_fail(self._on_host_fail)
+
+    # -- server side ----------------------------------------------------------
+
+    def export(self, obj: Any, object_id: str,
+               methods: Optional[Iterable[str]] = None) -> RemoteRef:
+        """Export ``obj`` under ``object_id``; returns the proxy to hand out.
+
+        ``methods`` restricts callable selectors; ``None`` allows any public
+        method (name not starting with underscore).
+        """
+        if object_id in self._objects:
+            raise ValueError(f"object id {object_id!r} already exported on {self.host.name}")
+        self._objects[object_id] = obj
+        self._allowed[object_id] = frozenset(methods) if methods is not None else None
+        return RemoteRef(host=self.host.name, object_id=object_id,
+                         type_names=_remote_type_names(obj))
+
+    def unexport(self, object_id: str) -> None:
+        self._objects.pop(object_id, None)
+        self._allowed.pop(object_id, None)
+
+    def is_exported(self, object_id: str) -> bool:
+        return object_id in self._objects
+
+    def _on_request(self, msg: Message) -> None:
+        request_id, reply_to, object_id, method, args, kwargs = msg.payload
+        obj = self._objects.get(object_id)
+        if obj is None:
+            self._reply(reply_to, request_id, False,
+                        NoSuchObjectError(f"{object_id!r} not exported on {self.host.name}"))
+            return
+        allowed = self._allowed.get(object_id)
+        if (method.startswith("_")
+                or (allowed is not None and method not in allowed)):
+            self._reply(reply_to, request_id, False,
+                        NoSuchObjectError(f"method {method!r} not remotely invocable"))
+            return
+        target = getattr(obj, method, None)
+        if target is None or not callable(target):
+            self._reply(reply_to, request_id, False,
+                        NoSuchObjectError(f"{type(obj).__name__} has no method {method!r}"))
+            return
+        self.env.process(self._invoke(reply_to, request_id, target, args, kwargs),
+                         name=f"rpc:{self.host.name}.{method}")
+
+    def _invoke(self, reply_to: str, request_id: int, target, args, kwargs):
+        try:
+            result = target(*args, **kwargs)
+            if inspect.isgenerator(result):
+                result = yield self.env.process(result)
+        except BaseException as exc:  # noqa: BLE001 - crosses the RPC boundary
+            self._reply(reply_to, request_id, False, exc)
+            return
+        self._reply(reply_to, request_id, True, result)
+        return
+        yield  # pragma: no cover - makes this function a generator
+
+    def _reply(self, reply_to: str, request_id: int, ok: bool, value: Any) -> None:
+        if not self.host.up:
+            return
+        self.host.send(reply_to, REPLY_PORT, kind="rpc-reply",
+                       payload=(request_id, ok, value), protocol=Protocol.JERI)
+
+    # -- client side ----------------------------------------------------------
+
+    def call(self, ref: RemoteRef, method: str, *args,
+             timeout: float = DEFAULT_TIMEOUT, kind: str = "rpc-request",
+             **kwargs) -> Event:
+        """Invoke ``method`` on the remote object; returns an event that
+        triggers with the result, or fails with :class:`RpcTimeout` /
+        :class:`RemoteError`."""
+        event = self.env.event()
+        request_id = next(self._request_ids)
+        self._pending[request_id] = _PendingCall(event, self.env.now)
+        payload = (request_id, self.host.name, ref.object_id, method, args, kwargs)
+        try:
+            self.host.send(ref.host, REQUEST_PORT, kind=kind,
+                           payload=payload, protocol=Protocol.JERI)
+        except Exception as exc:
+            self._pending.pop(request_id, None)
+            event.fail(exc)
+            return event
+        self.env.process(self._watchdog(request_id, timeout),
+                         name=f"rpc-timeout:{method}")
+        return event
+
+    def _watchdog(self, request_id: int, timeout: float):
+        yield self.env.timeout(timeout)
+        pending = self._pending.pop(request_id, None)
+        if pending is not None and not pending.event.triggered:
+            pending.event.fail(RpcTimeout(
+                f"no reply for request {request_id} within {timeout}s"))
+
+    def _on_reply(self, msg: Message) -> None:
+        request_id, ok, value = msg.payload
+        pending = self._pending.pop(request_id, None)
+        if pending is None or pending.event.triggered:
+            return  # reply after timeout: drop, like a closed socket
+        if ok:
+            pending.event.succeed(value)
+        else:
+            if isinstance(value, NoSuchObjectError):
+                pending.event.fail(value)
+            else:
+                pending.event.fail(RemoteError(value))
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def _on_host_fail(self, host: Host) -> None:
+        # In-flight outbound calls will time out on their own; exported
+        # objects stay registered so a recovered host resumes serving
+        # (mirrors a process restart reusing persisted export state is NOT
+        # modelled — Jini re-join handles re-registration at a higher layer).
+        pass
+
+
+def rpc_endpoint(host: Host) -> RpcEndpoint:
+    """Return the host's RPC endpoint, creating it on first use."""
+    endpoint = getattr(host, "_rpc_endpoint", None)
+    if endpoint is None:
+        endpoint = RpcEndpoint(host)
+        host._rpc_endpoint = endpoint
+    return endpoint

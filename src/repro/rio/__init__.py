@@ -1,0 +1,41 @@
+"""Rio-semantics provisioning substrate (§IV.C of the paper).
+
+Cybernodes advertise compute capability; a provision monitor keeps each
+deployed operational string converged to its planned service counts,
+placing instances by QoS + selection policy and healing failures as
+registration leases lapse.
+"""
+
+from .cybernode import CapacityExceededError, Cybernode, NodeStatus
+from .monitor import ProvisionMonitor, ProvisionRecord
+from .opstring import Deployment, OperationalString, ServiceElement
+from .qos import QosCapability, QosRequirement
+from .selection import (
+    Candidate,
+    CapacityWeightedRandom,
+    LeastLoaded,
+    RandomChoice,
+    RoundRobin,
+    SelectionPolicy,
+)
+from .sla import SlaScaler
+
+__all__ = [
+    "CapacityExceededError",
+    "Candidate",
+    "CapacityWeightedRandom",
+    "Cybernode",
+    "Deployment",
+    "LeastLoaded",
+    "NodeStatus",
+    "OperationalString",
+    "ProvisionMonitor",
+    "ProvisionRecord",
+    "QosCapability",
+    "QosRequirement",
+    "RandomChoice",
+    "RoundRobin",
+    "SelectionPolicy",
+    "ServiceElement",
+    "SlaScaler",
+]

@@ -1,0 +1,70 @@
+"""Operational strings — Rio's deployment descriptors.
+
+An :class:`OperationalString` names a set of :class:`ServiceElement`s the
+provision monitor must keep alive: each element says *what* to instantiate
+(a factory), *how many* (planned), *where it may go* (QoS requirement,
+max-per-node) and how it should be named.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..jini.entries import Entry
+from .qos import QosRequirement
+
+__all__ = ["ServiceElement", "OperationalString", "Deployment"]
+
+
+@dataclass(frozen=True)
+class Deployment(Entry):
+    """Attribute entry stamped on provisioned services so the monitor can
+    count live instances of each element."""
+
+    opstring: Optional[str] = None
+    element: Optional[str] = None
+
+
+#: A factory builds the provider on the cybernode's host:
+#: ``factory(host, instance_name, attributes) -> ServiceProvider`` — the
+#: provider must include ``attributes`` in its registration entries.
+ServiceFactory = Callable
+
+
+@dataclass
+class ServiceElement:
+    name: str
+    factory: ServiceFactory
+    planned: int = 1
+    qos: QosRequirement = field(default_factory=QosRequirement)
+    max_per_node: int = 1
+
+    def __post_init__(self):
+        if self.planned < 0:
+            raise ValueError(f"planned must be >= 0, got {self.planned}")
+        if self.max_per_node < 1:
+            raise ValueError(f"max_per_node must be >= 1, got {self.max_per_node}")
+
+    def instance_name(self, index: int) -> str:
+        """Unique provider name per instance; single instances keep the
+        element name itself (like 'New-Composite' in the paper)."""
+        return self.name if self.planned <= 1 and index == 0 else f"{self.name}#{index}"
+
+
+@dataclass
+class OperationalString:
+    name: str
+    elements: list = field(default_factory=list)
+
+    def element(self, name: str) -> ServiceElement:
+        for el in self.elements:
+            if el.name == name:
+                return el
+        raise KeyError(f"no element {name!r} in opstring {self.name!r}")
+
+    def add(self, element: ServiceElement) -> "OperationalString":
+        if any(el.name == element.name for el in self.elements):
+            raise ValueError(f"duplicate element name {element.name!r}")
+        self.elements.append(element)
+        return self

@@ -1,0 +1,65 @@
+"""QoS capabilities and requirements (Rio's compute-resource matching).
+
+A cybernode advertises a :class:`QosCapability` (slots, memory, platform
+tags); a service element declares a :class:`QosRequirement`. Provisioning
+only places a service on a cybernode whose capability satisfies the
+requirement with enough head-room — the paper's "running sensor service on
+the compute resource available in the network that matches required QoS".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QosCapability", "QosRequirement"]
+
+
+@dataclass(frozen=True)
+class QosCapability:
+    """What a cybernode offers."""
+
+    #: Abstract compute slots (1 slot ~ one service of unit load).
+    compute_slots: float = 4.0
+    memory_mb: float = 1024.0
+    #: Platform/feature tags ("jvm", "sensor-gateway", "arm", ...).
+    tags: frozenset = frozenset()
+
+    def __post_init__(self):
+        if self.compute_slots <= 0 or self.memory_mb <= 0:
+            raise ValueError("capability dimensions must be positive")
+
+
+@dataclass(frozen=True)
+class QosRequirement:
+    """What a service element needs."""
+
+    #: Slots this service consumes while deployed.
+    load: float = 1.0
+    memory_mb: float = 64.0
+    required_tags: frozenset = frozenset()
+
+    def __post_init__(self):
+        if self.load < 0 or self.memory_mb < 0:
+            raise ValueError("requirement dimensions must be non-negative")
+
+    def satisfied_by(self, capability: QosCapability,
+                     used_slots: float = 0.0,
+                     used_memory_mb: float = 0.0) -> bool:
+        """Can a node with this capability and current usage host us?"""
+        if capability.compute_slots - used_slots < self.load:
+            return False
+        if capability.memory_mb - used_memory_mb < self.memory_mb:
+            return False
+        if not self.required_tags <= capability.tags:
+            return False
+        return True
+
+    def satisfied_by_status(self, status) -> bool:
+        """Same check against a cybernode's :class:`NodeStatus` snapshot."""
+        if status.compute_slots - status.used_slots < self.load:
+            return False
+        if status.memory_mb - status.used_memory_mb < self.memory_mb:
+            return False
+        if not self.required_tags <= frozenset(status.tags):
+            return False
+        return True

@@ -1,0 +1,104 @@
+"""Cybernode selection policies — where to place the next service instance.
+
+The provision monitor asks a policy to pick among QoS-eligible candidates.
+Policies are the ablation axis of experiment E-PROV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Candidate", "SelectionPolicy", "RoundRobin", "LeastLoaded",
+           "CapacityWeightedRandom", "RandomChoice"]
+
+
+@dataclass
+class Candidate:
+    """A QoS-eligible cybernode snapshot."""
+
+    ref: object                 # RemoteRef of the cybernode
+    node_id: str
+    compute_slots: float
+    used_slots: float
+
+    @property
+    def free_slots(self) -> float:
+        return self.compute_slots - self.used_slots
+
+    @property
+    def utilization(self) -> float:
+        return self.used_slots / self.compute_slots if self.compute_slots else 1.0
+
+
+class SelectionPolicy:
+    name = "abstract"
+
+    def choose(self, candidates: list) -> Optional[Candidate]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class RoundRobin(SelectionPolicy):
+    """Cycle through nodes in stable (node_id) order."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def choose(self, candidates: list) -> Optional[Candidate]:
+        if not candidates:
+            return None
+        ordered = sorted(candidates, key=lambda c: c.node_id)
+        pick = ordered[self._cursor % len(ordered)]
+        self._cursor += 1
+        return pick
+
+
+class LeastLoaded(SelectionPolicy):
+    """Pick the node with the lowest utilization (ties by node_id)."""
+
+    name = "least-loaded"
+
+    def choose(self, candidates: list) -> Optional[Candidate]:
+        if not candidates:
+            return None
+        return min(candidates, key=lambda c: (c.utilization, c.node_id))
+
+
+class CapacityWeightedRandom(SelectionPolicy):
+    """Random, weighted by free capacity — spreads load while favouring
+    big nodes."""
+
+    name = "capacity-weighted"
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    def choose(self, candidates: list) -> Optional[Candidate]:
+        if not candidates:
+            return None
+        ordered = sorted(candidates, key=lambda c: c.node_id)
+        weights = np.array([max(c.free_slots, 0.0) for c in ordered])
+        total = weights.sum()
+        if total <= 0:
+            return ordered[0]
+        index = int(self.rng.choice(len(ordered), p=weights / total))
+        return ordered[index]
+
+
+class RandomChoice(SelectionPolicy):
+    """Uniform random — the baseline policy for E-PROV."""
+
+    name = "random"
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    def choose(self, candidates: list) -> Optional[Candidate]:
+        if not candidates:
+            return None
+        ordered = sorted(candidates, key=lambda c: c.node_id)
+        return ordered[int(self.rng.integers(len(ordered)))]

@@ -1,0 +1,76 @@
+"""SLA-driven autoscaling — a Rio extension the paper's provisioning enables.
+
+An :class:`SlaScaler` watches a load metric for one service element and
+adjusts the element's planned count on the monitor: scale out above the
+high-water mark, scale in below the low-water mark, bounded by
+``[min_planned, max_planned]``. Used by the E-PROV ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..net.host import Host
+from ..net.rpc import RemoteRef, rpc_endpoint
+
+__all__ = ["SlaScaler"]
+
+
+class SlaScaler:
+    """Threshold-based scaler driving ``ProvisionMonitor.set_planned``."""
+
+    def __init__(self, host: Host, monitor_ref: RemoteRef,
+                 opstring_name: str, element_name: str,
+                 load_metric: Callable[[], float],
+                 high_water: float, low_water: float,
+                 min_planned: int = 1, max_planned: int = 8,
+                 check_interval: float = 2.0):
+        if low_water >= high_water:
+            raise ValueError("low_water must be below high_water")
+        if min_planned > max_planned:
+            raise ValueError("min_planned must be <= max_planned")
+        self.host = host
+        self.env = host.env
+        self.monitor_ref = monitor_ref
+        self.opstring_name = opstring_name
+        self.element_name = element_name
+        self.load_metric = load_metric
+        self.high_water = high_water
+        self.low_water = low_water
+        self.min_planned = min_planned
+        self.max_planned = max_planned
+        self.check_interval = check_interval
+        self.planned = min_planned
+        self._endpoint = rpc_endpoint(host)
+        self._active = False
+        self.history: list[tuple] = []
+
+    def start(self) -> None:
+        if self._active:
+            return
+        self._active = True
+        self.env.process(self._loop(), name=f"sla:{self.element_name}")
+
+    def stop(self) -> None:
+        self._active = False
+
+    def _loop(self):
+        while self._active:
+            yield self.env.timeout(self.check_interval)
+            if not self.host.up:
+                continue
+            load = self.load_metric()
+            target = self.planned
+            if load > self.high_water and self.planned < self.max_planned:
+                target = self.planned + 1
+            elif load < self.low_water and self.planned > self.min_planned:
+                target = self.planned - 1
+            if target != self.planned:
+                try:
+                    yield self._endpoint.call(
+                        self.monitor_ref, "set_planned", self.opstring_name,
+                        self.element_name, target, kind="sla-scale")
+                except Exception:
+                    continue
+                self.planned = target
+                self.history.append((self.env.now, load, target))

@@ -1,0 +1,22 @@
+"""Canned deployments shared by tests, examples and benchmarks."""
+
+from .farm import Farm, build_farm
+from .grids import (
+    SensorGrid,
+    build_direct_grid,
+    build_sensorcer_grid,
+    grid_locations,
+)
+from .paper_lab import SENSOR_NAMES, PaperLab, build_paper_lab
+
+__all__ = [
+    "Farm",
+    "PaperLab",
+    "SENSOR_NAMES",
+    "SensorGrid",
+    "build_direct_grid",
+    "build_farm",
+    "build_paper_lab",
+    "build_sensorcer_grid",
+    "grid_locations",
+]

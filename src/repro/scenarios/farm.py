@@ -1,0 +1,113 @@
+"""Precision-agriculture deployment — the motivating scenario of §II.2.
+
+"...in agricultural area, where the sensors are located at different
+locations on the farms for various measurements, the data collection
+specialist has to collect the data from the sensors, directly visiting
+those places."
+
+Builds a farm of ``n_fields`` fields, each with ``sensors_per_field``
+temperature + humidity sensors, one composite per field (the field subnet)
+and one farm-level composite over the field composites — the logical
+sensor network the specialist manages from the browser instead of driving
+out to the fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim import Environment
+from ..net import Host, LanLatency, Network
+from ..jini import LookupService
+from ..jini.entries import Location
+from ..sensors import HumidityProbe, PhysicalEnvironment, TemperatureProbe
+from ..sorcer import Jobber
+from ..core import (
+    CompositeSensorProvider,
+    ElementarySensorProvider,
+    SensorBrowser,
+    SensorcerFacade,
+)
+
+__all__ = ["Farm", "build_farm"]
+
+#: Field corners are spaced widely so spatial gradients matter.
+FIELD_SPACING = 200.0
+SENSOR_SPACING = 25.0
+
+
+@dataclass
+class Farm:
+    env: Environment
+    net: Network
+    world: PhysicalEnvironment
+    lus: LookupService
+    facade: SensorcerFacade
+    browser: SensorBrowser
+    fields: dict           # field name -> list of ESPs
+    field_composites: dict  # field name -> CSP
+    farm_composite: CompositeSensorProvider
+    locations: dict        # sensor name -> (x, y)
+
+    def settle(self, duration: float = 6.0) -> None:
+        self.env.run(until=self.env.now + duration)
+
+    def ground_truth_field_mean(self, field_name: str, quantity: str) -> float:
+        names = [esp.name for esp in self.fields[field_name]
+                 if esp.probe.teds.quantity == quantity]
+        return self.world.mean_over(
+            quantity, [self.locations[name] for name in names], self.env.now)
+
+
+def build_farm(seed: int = 7, n_fields: int = 3,
+               sensors_per_field: int = 4) -> Farm:
+    env = Environment()
+    rng = np.random.default_rng(seed)
+    net = Network(env, rng=rng, latency=LanLatency(rng))
+    world = PhysicalEnvironment(seed=seed)
+
+    lus = LookupService(Host(net, "lus-host"))
+    lus.start()
+    Jobber(Host(net, "jobber-host")).start()
+
+    fields: dict = {}
+    field_composites: dict = {}
+    locations: dict = {}
+    for f in range(n_fields):
+        field_name = f"Field-{f}"
+        esps = []
+        for s in range(sensors_per_field):
+            x = f * FIELD_SPACING + (s % 2) * SENSOR_SPACING
+            y = (s // 2) * SENSOR_SPACING
+            probe_cls = TemperatureProbe if s % 2 == 0 else HumidityProbe
+            quantity = "temperature" if s % 2 == 0 else "humidity"
+            name = f"{field_name}-{quantity}-{s}"
+            probe = probe_cls(env, name.lower(), world, (x, y),
+                              rng=np.random.default_rng(rng.integers(2**32)),
+                              sensing_noise=0.0)
+            esp = ElementarySensorProvider(
+                Host(net, f"{name}-host"), name, probe,
+                location=Location(building=field_name),
+                technology="field-station")
+            esp.start()
+            esps.append(esp)
+            locations[name] = (x, y)
+        fields[field_name] = esps
+        composite = CompositeSensorProvider(
+            Host(net, f"{field_name}-csp-host"), field_name)
+        composite.start()
+        field_composites[field_name] = composite
+
+    farm_composite = CompositeSensorProvider(Host(net, "farm-csp-host"),
+                                             "Farm")
+    farm_composite.start()
+    facade = SensorcerFacade(Host(net, "facade-host"))
+    facade.start()
+    browser = SensorBrowser(Host(net, "browser-host"))
+
+    return Farm(env=env, net=net, world=world, lus=lus, facade=facade,
+                browser=browser, fields=fields,
+                field_composites=field_composites,
+                farm_composite=farm_composite, locations=locations)

@@ -1,0 +1,106 @@
+"""Sensor clusters — several collaborating motes behind one probe (§V.B).
+
+"ESP can be used to connect multiple sensors, if sensors have the ability
+to connect themselves with other sensors, collaborate, and make collected
+data available to ESP via its DataCollection interface."
+
+A :class:`SensorCluster` implements the standard probe interface over a set
+of member probes: a read fans out to every member (concurrently, like motes
+answering a cluster head) and reduces the answers (mean by default). Member
+failures are tolerated as long as ``min_members`` answer — the in-network
+collaboration robustness the paper alludes to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..sim import Environment
+from .probe import ProbeError, Reading, SensorProbe
+from .teds import TransducerTEDS
+
+__all__ = ["SensorCluster"]
+
+
+class SensorCluster(SensorProbe):
+    """Aggregates member probes behind the single-probe interface."""
+
+    def __init__(self, env: Environment, cluster_id: str,
+                 members: Sequence[SensorProbe],
+                 reducer: Callable[[np.ndarray], float] = None,
+                 min_members: int = 1):
+        if not members:
+            raise ValueError("a cluster needs at least one member probe")
+        quantities = {m.teds.quantity for m in members}
+        if len(quantities) != 1:
+            raise ValueError(
+                f"cluster members must measure one quantity, got {quantities}")
+        units = {m.teds.unit for m in members}
+        if len(units) != 1:
+            raise ValueError(f"cluster members disagree on units: {units}")
+        if not 1 <= min_members <= len(members):
+            raise ValueError(
+                f"min_members must be in [1, {len(members)}], got {min_members}")
+        self.env = env
+        self.cluster_id = cluster_id
+        self.members = list(members)
+        self.reducer = reducer if reducer is not None else (
+            lambda values: float(np.mean(values)))
+        self.min_members = min_members
+        self.member_failures = 0
+        first = members[0].teds
+        self._teds = TransducerTEDS(
+            manufacturer="cluster", model=f"cluster[{len(members)}]",
+            serial_number=cluster_id, version="1.0",
+            quantity=first.quantity, unit=first.unit,
+            min_range=min(m.teds.min_range for m in members),
+            max_range=max(m.teds.max_range for m in members),
+            accuracy=max(m.teds.accuracy for m in members),
+            resolution=min(m.teds.resolution for m in members))
+
+    # -- SensorProbe interface -----------------------------------------------------
+
+    def connect(self) -> None:
+        for member in self.members:
+            member.connect()
+
+    def disconnect(self) -> None:
+        for member in self.members:
+            member.disconnect()
+
+    @property
+    def connected(self) -> bool:
+        return any(m.connected for m in self.members)
+
+    @property
+    def teds(self) -> TransducerTEDS:
+        return self._teds
+
+    def read(self):
+        """Fan out to every member; reduce the survivors (generator)."""
+        if not self.connected:
+            raise ProbeError(f"cluster {self.cluster_id}: no member connected")
+
+        def attempt(member):
+            try:
+                reading = yield self.env.process(member.read())
+                return reading
+            except ProbeError:
+                return None
+
+        procs = [self.env.process(attempt(m), name=f"cluster-read")
+                 for m in self.members if m.connected]
+        readings = yield self.env.all_of(procs)
+        good = [r for r in readings if r is not None]
+        self.member_failures += len(procs) - len(good)
+        if len(good) < self.min_members:
+            raise ProbeError(
+                f"cluster {self.cluster_id}: only {len(good)}/{len(procs)} "
+                f"members answered (need {self.min_members})")
+        value = self.reducer(np.array([r.value for r in good]))
+        quality = "good" if len(good) == len(self.members) else "suspect"
+        return Reading(value=float(value), unit=self._teds.unit,
+                       timestamp=self.env.now, sensor_id=self.cluster_id,
+                       quality=quality)

@@ -1,0 +1,48 @@
+"""Transducer Electronic Data Sheets — IEEE-1451-style sensor metadata.
+
+The paper (§II.3) notes IEEE 1451 exists but is poorly adopted, so
+SenSORCER must wrap both standard and non-standard sensors. We model the
+useful core of a TEDS: identity, measured quantity, range, accuracy. Probes
+expose their TEDS so upper layers can reason about sensors generically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TransducerTEDS"]
+
+
+@dataclass(frozen=True)
+class TransducerTEDS:
+    """The subset of an IEEE-1451 TEDS that SenSORCER consumes."""
+
+    manufacturer: str
+    model: str
+    serial_number: str
+    version: str
+    quantity: str            # "temperature", "humidity", ...
+    unit: str                # "celsius", "percent", ...
+    min_range: float
+    max_range: float
+    accuracy: float          # +/- in measurement units
+    resolution: float        # smallest distinguishable step
+
+    def __post_init__(self):
+        if self.min_range >= self.max_range:
+            raise ValueError(
+                f"min_range {self.min_range} must be below max_range {self.max_range}")
+        if self.accuracy < 0 or self.resolution < 0:
+            raise ValueError("accuracy and resolution must be non-negative")
+
+    def in_range(self, value: float) -> bool:
+        return self.min_range <= value <= self.max_range
+
+    def clamp(self, value: float) -> float:
+        return max(self.min_range, min(self.max_range, value))
+
+    def quantize(self, value: float) -> float:
+        """Round to the instrument's resolution."""
+        if self.resolution <= 0:
+            return value
+        return round(value / self.resolution) * self.resolution

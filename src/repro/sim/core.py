@@ -1,0 +1,430 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, SimPy-like engine. Everything in the SenSORCER
+reproduction — the network, Jini discovery, Rio provisioning, the SORCER
+exertion runtime and the sensor devices — runs as processes inside one
+:class:`Environment`.
+
+Design notes
+------------
+* Time is a float in simulated seconds. There is no wall clock anywhere.
+* Events are scheduled on a binary heap keyed by ``(time, priority, seq)``
+  where ``seq`` is a monotonically increasing counter, which makes the
+  execution order fully deterministic.
+* A :class:`Process` wraps a generator. The generator yields :class:`Event`
+  objects; when a yielded event triggers, the process resumes with the
+  event's value (or the event's exception is thrown into the generator).
+* Failed events that nobody waits on are raised out of :meth:`Environment.run`
+  so tests surface unhandled simulation errors instead of silently
+  swallowing them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "StopSimulation",
+]
+
+#: Priority for "urgent" events (used internally for interrupts).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised when the simulation itself is misused (not a modelled failure)."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` early."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    ``cause`` carries an arbitrary, caller-supplied reason object.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+#: Sentinel distinguishing "not yet set" from a ``None`` event value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event goes through three states: *pending* (created), *triggered*
+    (succeed/fail called, callbacks scheduled) and *processed* (callbacks
+    ran). Its value or exception is immutable once triggered.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: Set True when some process observed (yielded on) this event's
+        #: failure, so the environment does not re-raise it.
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy another event's outcome onto this one (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event._defused = True
+            self.fail(event._value)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+        if self._ok is False and not self._defused:
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout cannot be retriggered")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout cannot be retriggered")
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """Wraps a generator as a process; the process *is* an event that
+    triggers with the generator's return value when it finishes."""
+
+    def __init__(self, env: "Environment", generator: Generator, name: str | None = None):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None while running).
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current wait."""
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} has terminated; cannot interrupt")
+        if self._target is None:
+            raise SimulationError(f"{self.name} cannot interrupt itself")
+        interrupt_ev = Event(self.env)
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev._defused = True
+        interrupt_ev.callbacks.append(self._resume)
+        self.env._schedule(interrupt_ev, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        # Ignore stale wakeups: after an interrupt, the original target may
+        # still trigger later; by then self._target no longer references it.
+        if self._value is not _PENDING:
+            if not event._ok:
+                event._defused = True
+            return
+        if (self._target is not None and event is not self._target
+                and not isinstance(event._value, Interrupt)):
+            if not event._ok:
+                event._defused = True
+            return
+        # Detach from the event we were waiting on.
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self.env._active_process = self
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as exc:
+            self._target = None
+            self.env._active_process = None
+            self._ok = True
+            self._value = exc.value
+            self.env._schedule(self, NORMAL)
+            return
+        except BaseException as exc:
+            self._target = None
+            self.env._active_process = None
+            self._ok = False
+            self._value = exc
+            self.env._schedule(self, NORMAL)
+            return
+        self.env._active_process = None
+        if not isinstance(next_event, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded non-event {next_event!r}")
+            self._generator.throw(error)
+            return
+        self._target = next_event
+        if next_event.callbacks is not None:
+            next_event.callbacks.append(self._resume)
+        else:
+            # Already processed: resume immediately (respecting outcome).
+            resume_ev = Event(self.env)
+            resume_ev._ok = next_event._ok
+            resume_ev._value = next_event._value
+            if not next_event._ok:
+                resume_ev._defused = True
+            resume_ev.callbacks.append(self._resume)
+            self._target = resume_ev
+            self.env._schedule(resume_ev, URGENT)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name} alive={self.is_alive}>"
+
+
+class Condition(Event):
+    """Triggers based on the outcomes of several child events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event],
+                 evaluate: Callable[[int, int], bool]):
+        super().__init__(env)
+        self.events = list(events)
+        self._evaluate = evaluate
+        self._done = 0
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._evaluate(len(self.events), self._done):
+            self.succeed([ev._value for ev in self.events if ev.triggered])
+
+
+class AllOf(Condition):
+    """Triggers when *all* child events have triggered; fails on first failure."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, lambda total, done: done == total)
+
+
+class AnyOf(Condition):
+    """Triggers as soon as *any* child event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, lambda total, done: done >= 1)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling / execution ----------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("nothing scheduled")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue drains;
+        * a number — run until simulated time reaches it (clock is advanced
+          to exactly ``until`` even if no event lands there);
+        * an :class:`Event` — run until that event is processed, returning
+          its value (or raising its exception).
+        """
+        stop_value: list[Any] = []
+        if isinstance(until, Event):
+            target = until
+
+            def _stop(ev: Event) -> None:
+                stop_value.append(ev)
+                raise StopSimulation()
+
+            if target.callbacks is None:
+                if not target._ok:
+                    raise target._value
+                return target._value
+            target.callbacks.append(_stop)
+            deadline = float("inf")
+        elif until is None:
+            target = None
+            deadline = float("inf")
+        else:
+            target = None
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(
+                    f"until={deadline} is in the past (now={self._now})")
+
+        try:
+            while self._queue and self._queue[0][0] <= deadline:
+                self.step()
+        except StopSimulation:
+            ev = stop_value[0]
+            if not ev._ok:
+                ev._defused = True
+                raise ev._value
+            return ev._value
+        if target is not None:
+            raise SimulationError("run(until=event): queue drained before event triggered")
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

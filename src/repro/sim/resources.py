@@ -1,0 +1,163 @@
+"""Shared-resource primitives built on the event kernel.
+
+:class:`Store` is an unbounded-or-bounded FIFO of items with blocking ``get``
+(used for mailboxes, work queues and the exertion space's waiter lists).
+:class:`Resource` models a counted resource with blocking ``request`` (used
+for cybernode capacity slots).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .core import Environment, Event, SimulationError
+
+__all__ = ["Store", "StoreGet", "StorePut", "Resource", "ResourceRequest"]
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; triggers once the item is stored."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; triggers with a matching item."""
+
+    def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]]):
+        super().__init__(store.env)
+        self.predicate = predicate
+        store._get_queue.append(self)
+        store._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw this get request if it has not been satisfied yet."""
+        if not self.triggered:
+            try:
+                self._store_ref._get_queue.remove(self)
+            except (ValueError, AttributeError):
+                pass
+
+
+class Store:
+    """FIFO item store with optionally filtered, blocking ``get``.
+
+    ``get(predicate)`` returns an event that triggers with the *first* item
+    (in insertion order) satisfying the predicate. Items that match no
+    waiter stay queued.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._put_queue: deque[StorePut] = deque()
+        self._get_queue: deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        ev = StoreGet(self, predicate)
+        ev._store_ref = self
+        return ev
+
+    def peek_all(self) -> list[Any]:
+        """Non-blocking snapshot of currently stored items."""
+        return list(self.items)
+
+    def _dispatch(self) -> None:
+        # Admit pending puts while there is room.
+        while self._put_queue and len(self.items) < self.capacity:
+            put = self._put_queue.popleft()
+            self.items.append(put.item)
+            put.succeed()
+        # Satisfy waiting gets in arrival order.
+        progressed = True
+        while progressed:
+            progressed = False
+            for get in list(self._get_queue):
+                match_idx = None
+                for idx, item in enumerate(self.items):
+                    if get.predicate is None or get.predicate(item):
+                        match_idx = idx
+                        break
+                if match_idx is not None:
+                    item = self.items[match_idx]
+                    del self.items[match_idx]
+                    self._get_queue.remove(get)
+                    get.succeed(item)
+                    progressed = True
+            # Released capacity may admit more puts.
+            while self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+
+
+class ResourceRequest(Event):
+    """Event returned by :meth:`Resource.request`; triggers when granted."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._dispatch()
+
+    def release(self) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request."""
+        if not self.triggered:
+            try:
+                self.resource._queue.remove(self)
+            except ValueError:
+                pass
+
+
+class Resource:
+    """A counted resource: at most ``capacity`` outstanding grants."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[ResourceRequest] = []
+        self._queue: deque[ResourceRequest] = deque()
+
+    @property
+    def count(self) -> int:
+        return len(self.users)
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> ResourceRequest:
+        return ResourceRequest(self)
+
+    def release(self, request: ResourceRequest) -> None:
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise SimulationError("releasing a request that was never granted")
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._queue and len(self.users) < self.capacity:
+            req = self._queue.popleft()
+            self.users.append(req)
+            req.succeed()

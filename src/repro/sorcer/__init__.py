@@ -1,0 +1,61 @@
+"""SORCER exertion-oriented runtime (§IV.D of the paper).
+
+Exertions (tasks/jobs) carry service contexts and signatures; ``exert``
+binds them to providers discovered at runtime, forming the federation.
+Providers implement the single remote ``service(exertion, txn)`` operation.
+Jobber/Spacer are the rendezvous peers; the exertion space supports
+transactional PULL dispatch.
+"""
+
+from .accessor import ServiceAccessor
+from .context import ContextError, ServiceContext
+from .exerter import Exerter
+from .exertion import (
+    Access,
+    ControlContext,
+    Exertion,
+    ExertionStatus,
+    Job,
+    Pipe,
+    Strategy,
+    Task,
+    TraceRecord,
+)
+from .jobber import Jobber
+from .provider import ServiceProvider, join_service
+from .security import AccessPolicy, AclPolicy, AllowAll, AuthorizationError
+from .signature import Signature
+from .space import Envelope, EnvelopeState, ExertionSpace, SpaceTemplate
+from .spacer import SpaceWorker, Spacer
+from .tasker import Tasker
+
+__all__ = [
+    "Access",
+    "AccessPolicy",
+    "AclPolicy",
+    "AllowAll",
+    "AuthorizationError",
+    "ContextError",
+    "ControlContext",
+    "Envelope",
+    "EnvelopeState",
+    "Exerter",
+    "Exertion",
+    "ExertionSpace",
+    "ExertionStatus",
+    "Job",
+    "Jobber",
+    "Pipe",
+    "ServiceAccessor",
+    "ServiceContext",
+    "ServiceProvider",
+    "Signature",
+    "SpaceTemplate",
+    "SpaceWorker",
+    "Spacer",
+    "Strategy",
+    "Task",
+    "Tasker",
+    "TraceRecord",
+    "join_service",
+]

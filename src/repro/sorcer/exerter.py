@@ -1,0 +1,133 @@
+"""Federated method invocation — ``exert`` sends an exertion onto the network.
+
+The requestor-side runtime: bind a task to any live provider matching its
+signature (trying alternates on failure — the paper's "request can be passed
+on to the equivalent available service provider"), or route a job to a
+rendezvous peer (Jobber for PUSH, Spacer for PULL). If nothing matches and
+the signature carries ``provision=True``, an attached provisioner is asked
+to instantiate a provider before giving up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..net.errors import NetworkError
+from ..net.host import Host
+from ..net.rpc import rpc_endpoint
+from .accessor import ServiceAccessor
+from .exertion import Access, Exertion, Job, Task
+from .signature import Signature
+
+__all__ = ["Exerter"]
+
+JOBBER_TYPE = "Jobber"
+SPACER_TYPE = "Spacer"
+
+
+class Exerter:
+    """Requestor-side exertion runtime bound to one host."""
+
+    def __init__(self, host: Host, accessor: Optional[ServiceAccessor] = None,
+                 provisioner: Optional[Callable] = None):
+        """``provisioner``, if given, is a generator function
+        ``provisioner(signature)`` that tries to instantiate a matching
+        provider (returns truthy on success)."""
+        self.host = host
+        self.env = host.env
+        self.accessor = accessor if accessor is not None else ServiceAccessor(host)
+        self.provisioner = provisioner
+        self._endpoint = rpc_endpoint(host)
+        #: Rotates candidate lists so equivalent providers share the load.
+        self._rotation = 0
+
+    # -- public API ---------------------------------------------------------------
+
+    def exert(self, exertion: Exertion, txn_id: Optional[int] = None):
+        """Run the exertion on the network; a generator returning the
+        resulting exertion (never raises for modelled failures — inspect
+        ``result.status`` / ``result.exceptions``)."""
+        if isinstance(exertion, Job):
+            result = yield from self._exert_job(exertion, txn_id)
+        elif isinstance(exertion, Task):
+            result = yield from self._exert_task(exertion, txn_id)
+        else:
+            raise TypeError(f"cannot exert {type(exertion).__name__}")
+        return result
+
+    # -- internals ------------------------------------------------------------------
+
+    def _exert_task(self, task: Task, txn_id: Optional[int],
+                    _fresh_lookup: bool = False):
+        signature = task.signature
+        control = task.control
+        items = yield from self._find_providers(signature, control.provider_wait)
+        if not items:
+            task = task.copy()
+            task.report_exception(
+                f"no provider for {signature} within {control.provider_wait}s")
+            return task
+        attempts = 1 + max(0, control.retries)
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            # Cycle through candidates; with a single candidate this is a
+            # plain retransmission (a lost message, not a dead provider).
+            item = items[attempt % len(items)]
+            try:
+                result = yield self._endpoint.call(
+                    item.service, "service", task, txn_id,
+                    kind="exertion", timeout=control.invocation_timeout)
+                return result
+            except NetworkError as exc:
+                last_error = exc
+                continue
+        if not _fresh_lookup and getattr(self.accessor, "cache_ttl", 0) > 0:
+            # Every candidate failed: the accessor's cache may be stale
+            # (provider churn). Invalidate and retry once with a live lookup.
+            self.accessor.invalidate(signature.template())
+            result = yield from self._exert_task(task, txn_id,
+                                                 _fresh_lookup=True)
+            return result
+        task = task.copy()
+        task.report_exception(f"all candidate providers failed: {last_error!r}")
+        return task
+
+    def _exert_job(self, job: Job, txn_id: Optional[int]):
+        rendezvous_type = (SPACER_TYPE if job.control.access is Access.PULL
+                           else JOBBER_TYPE)
+        signature = Signature(rendezvous_type, "service")
+        items = yield from self._find_providers(signature, job.control.provider_wait)
+        if not items:
+            job = job.copy()
+            job.report_exception(
+                f"no {rendezvous_type} rendezvous peer on the network")
+            return job
+        last_error: Optional[BaseException] = None
+        for attempt in range(1 + max(0, job.control.retries)):
+            item = items[attempt % len(items)]
+            try:
+                result = yield self._endpoint.call(
+                    item.service, "service", job, txn_id,
+                    kind="exertion", timeout=job.control.invocation_timeout)
+                return result
+            except NetworkError as exc:
+                last_error = exc
+                continue
+        job = job.copy()
+        job.report_exception(f"rendezvous invocation failed: {last_error!r}")
+        return job
+
+    def _find_providers(self, signature: Signature, wait: float):
+        items = yield from self.accessor.find_for(signature, wait=wait)
+        if not items and signature.provision and self.provisioner is not None:
+            provisioned = yield self.env.process(self.provisioner(signature))
+            if provisioned:
+                items = yield from self.accessor.find_for(signature, wait=wait)
+        if len(items) > 1:
+            # Round-robin over equivalent providers (stable id order), so
+            # concurrent tasks of a parallel job spread across the grid.
+            items = sorted(items, key=lambda item: item.service_id)
+            offset = self._rotation % len(items)
+            self._rotation += 1
+            items = items[offset:] + items[:offset]
+        return items

@@ -1,0 +1,175 @@
+"""Exertions — SORCER's federated service requests.
+
+An exertion bundles *data* (a :class:`~repro.sorcer.context.ServiceContext`),
+*operations* (:class:`~repro.sorcer.signature.Signature`) and a *control
+strategy*. A :class:`Task` is an elementary request executed by a single
+provider; a :class:`Job` composes tasks and other jobs and is executed by a
+rendezvous peer (Jobber for direct PUSH federation, Spacer for space-based
+PULL federation).
+
+The requestor never names a provider — ``exert`` sends the request *onto the
+network* and the runtime binds it to whatever matching providers are alive,
+forming the exertion federation (§IV.D).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Optional
+
+from .context import ServiceContext
+from .signature import Signature
+
+__all__ = ["Exertion", "Task", "Job", "ControlContext", "Strategy", "Access",
+           "ExertionStatus", "TraceRecord", "Pipe"]
+
+
+class ExertionStatus(Enum):
+    INITIAL = "initial"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class Strategy(Enum):
+    SEQUENTIAL = "sequential"
+    PARALLEL = "parallel"
+
+
+class Access(Enum):
+    #: Direct federated method invocation to discovered providers.
+    PUSH = "push"
+    #: Drop into the exertion space; workers pull and execute.
+    PULL = "pull"
+
+
+@dataclass
+class ControlContext:
+    strategy: Strategy = Strategy.SEQUENTIAL
+    access: Access = Access.PUSH
+    #: Give up finding a provider after this long.
+    provider_wait: float = 10.0
+    #: Per-invocation RPC timeout.
+    invocation_timeout: float = 30.0
+    #: Retries on alternate providers after a provider failure.
+    retries: int = 2
+
+
+@dataclass
+class TraceRecord:
+    """Who executed what, where and when — the exertion's audit trail."""
+
+    exertion: str
+    provider: str
+    host: str
+    started_at: float
+    finished_at: float
+    note: str = ""
+
+
+@dataclass
+class Pipe:
+    """Connects one component's output path to another's input path."""
+
+    from_exertion: str
+    from_path: str
+    to_exertion: str
+    to_path: str
+
+
+class Exertion:
+    """Common behaviour of tasks and jobs."""
+
+    def __init__(self, name: str, context: Optional[ServiceContext] = None,
+                 principal: str = "anonymous"):
+        self.name = name
+        self.context = context if context is not None else ServiceContext(f"{name}-ctx")
+        self.control = ControlContext()
+        self.status = ExertionStatus.INITIAL
+        self.exceptions: list[str] = []
+        self.trace: list[TraceRecord] = []
+        #: Who is asking. Providers with an access policy check this before
+        #: invoking operations (§IV.D: "if the requestor is authorized").
+        self.principal = principal
+
+    @property
+    def is_done(self) -> bool:
+        return self.status is ExertionStatus.DONE
+
+    @property
+    def is_failed(self) -> bool:
+        return self.status is ExertionStatus.FAILED
+
+    def report_exception(self, exc: BaseException | str) -> None:
+        self.exceptions.append(str(exc))
+        self.status = ExertionStatus.FAILED
+
+    def copy(self) -> "Exertion":
+        """Deep copy — models serialization across the network boundary."""
+        return copy.deepcopy(self)
+
+    def get_return_value(self, default: Any = None) -> Any:
+        return self.context.get_return_value(default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r} {self.status.value}>"
+
+
+class Task(Exertion):
+    """Elementary exertion: one signature, one provider."""
+
+    def __init__(self, name: str, signature: Signature,
+                 context: Optional[ServiceContext] = None,
+                 principal: str = "anonymous"):
+        super().__init__(name, context, principal=principal)
+        self.signature = signature
+
+
+class Job(Exertion):
+    """Composite exertion: nested tasks/jobs plus data pipes between them.
+
+    The job's own context aggregates component results: when component ``c``
+    finishes, its return value lands at job path ``c/<return_path>``.
+    """
+
+    def __init__(self, name: str, exertions: Optional[list[Exertion]] = None,
+                 context: Optional[ServiceContext] = None,
+                 strategy: Strategy = Strategy.SEQUENTIAL,
+                 access: Access = Access.PUSH,
+                 principal: str = "anonymous"):
+        super().__init__(name, context, principal=principal)
+        self.exertions: list[Exertion] = list(exertions or [])
+        self.control.strategy = strategy
+        self.control.access = access
+        self.pipes: list[Pipe] = []
+
+    def add(self, exertion: Exertion) -> "Job":
+        if any(e.name == exertion.name for e in self.exertions):
+            raise ValueError(f"duplicate component exertion name {exertion.name!r}")
+        self.exertions.append(exertion)
+        return self
+
+    def component(self, name: str) -> Exertion:
+        for e in self.exertions:
+            if e.name == name:
+                return e
+        raise KeyError(f"no component exertion named {name!r} in job {self.name!r}")
+
+    def pipe(self, from_exertion: str, from_path: str,
+             to_exertion: str, to_path: str) -> "Job":
+        """Feed ``from_exertion``'s output into ``to_exertion``'s input.
+
+        Only meaningful under SEQUENTIAL strategy (the source must complete
+        before the sink starts); validated at dispatch time.
+        """
+        names = [e.name for e in self.exertions]
+        for end in (from_exertion, to_exertion):
+            if end not in names:
+                raise KeyError(f"pipe endpoint {end!r} is not a component of {self.name!r}")
+        if names.index(from_exertion) >= names.index(to_exertion):
+            raise ValueError(
+                f"pipe must flow forward: {from_exertion!r} -> {to_exertion!r}")
+        self.pipes.append(Pipe(from_exertion, from_path, to_exertion, to_path))
+        return self

@@ -1,0 +1,200 @@
+"""Service provider base — a servicer peer on the object-oriented overlay.
+
+Every SORCER provider implements the single top-level ``Servicer`` operation
+
+    service(exertion, txn_id) -> exertion
+
+Operations declared in a provider's public interface are *not* remotely
+callable; they are only reachable through an exertion naming them in a
+signature — exactly the indirect-invocation rule of §IV.D. The base class
+handles the exertion lifecycle (copy across the boundary, signature
+validation, status/trace bookkeeping, exception capture) and the Jini join
+protocol so concrete providers only register operations.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Iterable, Optional
+
+from ..jini.entries import Entry, Name
+from ..jini.join import JoinManager
+from ..jini.template import ServiceItem
+from ..net.host import Host
+from ..net.rpc import RemoteRef, rpc_endpoint
+from ..sim import Resource
+from .exertion import Exertion, ExertionStatus, Task, TraceRecord
+from .security import AccessPolicy, AuthorizationError
+
+__all__ = ["ServiceProvider", "join_service"]
+
+
+def join_service(host: Host, ref: RemoteRef, service_id: str,
+                 attributes: Iterable[Entry],
+                 lease_duration: float = 30.0) -> JoinManager:
+    """Register an already-exported object with all lookup services.
+
+    Convenience for infrastructure services (transaction manager, mailbox,
+    exertion space) that are not exertion providers but must appear in the
+    registry — the Fig 2 service inventory.
+    """
+    item = ServiceItem(service_id=service_id, service=ref,
+                       attributes=tuple(attributes))
+    manager = JoinManager(host, item, lease_duration=lease_duration)
+    manager.start()
+    return manager
+
+
+class ServiceProvider:
+    """Base class for all SenSORCER/SORCER service providers."""
+
+    #: Additional remote interface names contributed by subclasses.
+    SERVICE_TYPES: tuple = ()
+
+    def __init__(self, host: Host, name: str,
+                 attributes: Iterable[Entry] = (),
+                 service_types: Iterable[str] = (),
+                 op_overhead: float = 0.0005,
+                 lease_duration: float = 30.0,
+                 max_concurrency: Optional[int] = None,
+                 access_policy: Optional[AccessPolicy] = None):
+        self.host = host
+        self.env = host.env
+        self.name = name
+        self.service_id = host.network.ids.uuid()
+        self.op_overhead = op_overhead
+        # Collect types: Servicer + class-level + instance-level extras.
+        types: list[str] = ["Servicer"]
+        for klass in type(self).__mro__:
+            for t in klass.__dict__.get("SERVICE_TYPES", ()):
+                if t not in types:
+                    types.append(t)
+        for t in service_types:
+            if t not in types:
+                types.append(t)
+        self.service_types = tuple(types)
+        #: Instance-level remote types picked up by the RPC export.
+        self.REMOTE_TYPES = self.service_types
+        self._operations: dict[str, Callable] = {}
+        self._extra_attributes = tuple(attributes)
+        self._endpoint = rpc_endpoint(host)
+        self.ref = self._endpoint.export(self, f"provider:{self.service_id}",
+                                         methods=("service",))
+        self._join: Optional[JoinManager] = None
+        self._lease_duration = lease_duration
+        #: Optional cap on in-flight exertions (a provider's thread pool).
+        self._gate = (Resource(host.env, max_concurrency)
+                      if max_concurrency else None)
+        #: None = open access (the default lab configuration).
+        self.access_policy = access_policy
+        self.stats = {"served": 0, "failed": 0, "busy_time": 0.0}
+
+    # -- configuration -----------------------------------------------------------
+
+    def add_operation(self, selector: str, fn: Callable) -> None:
+        """Register an operation; ``fn(context)`` returns the result value
+        (or a generator that does). The result is stored at the context's
+        return path."""
+        if selector in self._operations:
+            raise ValueError(f"operation {selector!r} already registered on {self.name}")
+        self._operations[selector] = fn
+
+    def operations(self) -> list[str]:
+        return sorted(self._operations)
+
+    def attributes(self) -> tuple:
+        return (Name(self.name),) + self._extra_attributes
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> "ServiceProvider":
+        """Join the network: register with every discoverable LUS."""
+        if self._join is None:
+            item = ServiceItem(service_id=self.service_id, service=self.ref,
+                               attributes=self.attributes())
+            self._join = JoinManager(self.host, item,
+                                     lease_duration=self._lease_duration)
+            self._join.start()
+        return self
+
+    def update_attributes(self) -> None:
+        """Push the current attribute set to the lookup services."""
+        if self._join is not None:
+            self._join.update_attributes(self.attributes())
+
+    def destroy(self):
+        """Gracefully leave the network (a generator — run as a process)."""
+        if self._join is not None:
+            yield from self._join.terminate()
+            self._join = None
+        self._endpoint.unexport(f"provider:{self.service_id}")
+
+    # -- the Servicer operation ---------------------------------------------------------
+
+    def service(self, exertion: Exertion, txn_id: Optional[int] = None):
+        """Top-level remote operation; a generator run by the RPC layer."""
+        exertion = exertion.copy()  # serialization boundary
+        grant = None
+        if self._gate is not None:
+            grant = self._gate.request()
+            yield grant
+        try:
+            started = self.env.now
+            exertion.status = ExertionStatus.RUNNING
+            try:
+                result = yield from self._execute(exertion, txn_id)
+            except Exception as exc:  # noqa: BLE001 - reported in the exertion
+                exertion.report_exception(exc)
+                self.stats["failed"] += 1
+                self._trace(exertion, started, note=f"exception: {exc!r}")
+                return exertion
+            if exertion.status is ExertionStatus.FAILED:
+                self.stats["failed"] += 1
+            else:
+                exertion.status = ExertionStatus.DONE
+                self.stats["served"] += 1
+            self.stats["busy_time"] += self.env.now - started
+            self._trace(exertion, started)
+            return result if isinstance(result, Exertion) else exertion
+        finally:
+            if grant is not None:
+                self._gate.release(grant)
+
+    def _execute(self, exertion: Exertion, txn_id: Optional[int]):
+        """Default behaviour: dispatch a task's selector to an operation.
+
+        Subclasses (Jobber, Spacer) override for composite exertions.
+        """
+        if not isinstance(exertion, Task):
+            raise TypeError(
+                f"{self.name} is a task peer; cannot execute {type(exertion).__name__}")
+        signature = exertion.signature
+        if signature.service_type not in self.service_types:
+            raise TypeError(
+                f"{self.name} does not implement {signature.service_type!r}")
+        if (self.access_policy is not None
+                and not self.access_policy.allows(exertion.principal,
+                                                  signature.selector)):
+            raise AuthorizationError(
+                f"principal {exertion.principal!r} may not invoke "
+                f"{signature.selector!r} on {self.name}")
+        op = self._operations.get(signature.selector)
+        if op is None:
+            raise LookupError(
+                f"{self.name} has no operation {signature.selector!r}")
+        if self.op_overhead > 0:
+            yield self.env.timeout(self.op_overhead)
+        value = op(exertion.context)
+        if inspect.isgenerator(value):
+            value = yield self.env.process(value)
+        if value is not None:
+            exertion.context.set_return_value(value)
+        return exertion
+
+    def _trace(self, exertion: Exertion, started: float, note: str = "") -> None:
+        exertion.trace.append(TraceRecord(
+            exertion=exertion.name, provider=self.name, host=self.host.name,
+            started_at=started, finished_at=self.env.now, note=note))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r} on {self.host.name}>"

@@ -1,0 +1,67 @@
+"""Access control for provider operations (§IV.D, §VIII).
+
+"When the servicer accepts its received exertion, then the exertion's
+operations can be invoked by the servicer itself, **if the requestor is
+authorized to do so**" — and the conclusion credits "the security provided
+by Java/Jini security services". We model the decision point: every
+exertion carries a ``principal`` and a provider may be given an
+:class:`AccessPolicy` consulted before dispatch.
+
+:class:`AclPolicy` is the useful concrete policy: per-selector principal
+allow-lists with a wildcard. Denials surface as a failed exertion carrying
+an :class:`AuthorizationError` message — the requestor learns it was
+refused, not what else exists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["AccessPolicy", "AllowAll", "AclPolicy", "AuthorizationError"]
+
+#: Wildcards accepted in ACL tables.
+ANY_PRINCIPAL = "*"
+ANY_SELECTOR = "*"
+
+
+class AuthorizationError(PermissionError):
+    """The requestor's principal may not invoke this operation."""
+
+
+class AccessPolicy:
+    """Decides whether ``principal`` may invoke ``selector``."""
+
+    def allows(self, principal: str, selector: str) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+class AllowAll(AccessPolicy):
+    """The default open policy (a lab network)."""
+
+    def allows(self, principal: str, selector: str) -> bool:
+        return True
+
+
+class AclPolicy(AccessPolicy):
+    """Selector -> allowed principals, with ``*`` wildcards.
+
+    Example::
+
+        AclPolicy({
+            "getValue": {"*"},                       # anyone reads
+            "setExpression": {"admin", "facade"},    # management restricted
+            "*": {"admin"},                          # admin can do anything
+        })
+    """
+
+    def __init__(self, table: Mapping[str, Iterable[str]]):
+        self._table = {selector: frozenset(principals)
+                       for selector, principals in table.items()}
+
+    def allows(self, principal: str, selector: str) -> bool:
+        for key in (selector, ANY_SELECTOR):
+            principals = self._table.get(key)
+            if principals and (principal in principals
+                               or ANY_PRINCIPAL in principals):
+                return True
+        return False

@@ -1,0 +1,45 @@
+"""Signatures — what operation, on what kind of provider.
+
+A signature names a remote *service type* (interface) and an operation
+*selector*, optionally narrowed by provider name or attribute entries, plus
+a provisioning flag: if no matching provider is on the network and
+``provision`` is set, the runtime may ask Rio to instantiate one (the
+paper's autonomic provisioning of sensor services).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..jini.entries import Name
+from ..jini.template import ServiceTemplate
+
+__all__ = ["Signature"]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An operation bound to a provider *type*, not a provider instance."""
+
+    service_type: str
+    selector: str
+    provider_name: Optional[str] = None
+    #: Pin to one exact provider instance (composite providers bind their
+    #: children by id so same-named services cannot be confused).
+    service_id: Optional[str] = None
+    attributes: tuple = ()
+    #: Ask the provisioner for an instance when none is discoverable.
+    provision: bool = False
+
+    def template(self) -> ServiceTemplate:
+        """The lookup template that finds providers for this signature."""
+        attrs = tuple(self.attributes)
+        if self.provider_name is not None:
+            attrs = (Name(self.provider_name),) + attrs
+        return ServiceTemplate(service_id=self.service_id,
+                               types=(self.service_type,), attributes=attrs)
+
+    def __str__(self) -> str:
+        who = self.provider_name or "*"
+        return f"{self.service_type}#{self.selector}@{who}"

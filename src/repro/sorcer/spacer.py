@@ -1,0 +1,209 @@
+"""Spacer and space workers — the PULL half of exertion dispatch.
+
+The :class:`Spacer` is the rendezvous peer for jobs with
+``Access.PULL``: it drops every component task into the exertion space and
+waits for results. :class:`SpaceWorker` attaches to a concrete provider and
+pulls matching envelopes: take under a transaction, execute locally, write
+the result back, commit. A worker crash before commit lets the transaction
+lapse, the space restores the envelope, and another worker picks it up —
+no lost exertions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.errors import NetworkError
+from ..net.host import Host
+from ..net.rpc import RemoteRef, rpc_endpoint
+from .accessor import ServiceAccessor
+from .exertion import Exertion, ExertionStatus, Job, Strategy, Task
+from .provider import ServiceProvider
+from .space import SpaceTemplate
+
+__all__ = ["Spacer", "SpaceWorker"]
+
+SPACE_TYPE = "ExertionSpace"
+
+
+class Spacer(ServiceProvider):
+    """Rendezvous peer for space-based (PULL) federations."""
+
+    SERVICE_TYPES = ("Spacer",)
+
+    def __init__(self, host: Host, name: str = "Spacer",
+                 result_timeout: float = 30.0, **kwargs):
+        super().__init__(host, name, **kwargs)
+        self.accessor = ServiceAccessor(host)
+        self.result_timeout = result_timeout
+
+    def _find_space(self):
+        from ..jini.template import ServiceTemplate
+        item = yield from self.accessor.find_one(
+            ServiceTemplate.by_type(SPACE_TYPE), wait=5.0)
+        return item.service if item is not None else None
+
+    def _execute(self, exertion: Exertion, txn_id: Optional[int]):
+        if not isinstance(exertion, Job):
+            raise TypeError(f"Spacer got a {type(exertion).__name__}; jobs only")
+        job = exertion
+        space_ref = yield from self._find_space()
+        if space_ref is None:
+            raise LookupError("no exertion space on the network")
+        if job.control.strategy is Strategy.PARALLEL and job.pipes:
+            raise ValueError("pipes between components require SEQUENTIAL strategy")
+        if job.control.strategy is Strategy.PARALLEL:
+            yield from self._run_parallel(job, space_ref)
+        else:
+            yield from self._run_sequential(job, space_ref)
+        failed = [e for e in job.exertions if e.is_failed]
+        if failed:
+            job.report_exception(
+                f"{len(failed)} component exertion(s) failed: "
+                + ", ".join(e.name for e in failed))
+        else:
+            job.status = ExertionStatus.DONE
+        return job
+
+    # -- strategies -----------------------------------------------------------
+
+    def _dispatch_one(self, component: Task, space_ref: RemoteRef):
+        envelope_id = yield self._endpoint.call(
+            space_ref, "write", component, kind="space-write")
+        result = yield self._endpoint.call(
+            space_ref, "take_result", envelope_id, self.result_timeout,
+            kind="space-result", timeout=self.result_timeout + 5.0)
+        if result is None:
+            component = component.copy()
+            component.report_exception(
+                f"no worker produced a result within {self.result_timeout}s")
+            return component
+        return result
+
+    def _run_sequential(self, job: Job, space_ref: RemoteRef):
+        for index, component in enumerate(list(job.exertions)):
+            if not isinstance(component, Task):
+                component = component.copy()
+                component.report_exception(
+                    "space-based dispatch supports task components only")
+                job.exertions[index] = component
+                return
+            self._apply_pipes(job, component)
+            result = yield from self._dispatch_one(component, space_ref)
+            job.exertions[index] = result
+            self._collect(job, result)
+            if result.is_failed:
+                for rest in job.exertions[index + 1:]:
+                    rest.report_exception(f"skipped: upstream {result.name!r} failed")
+                return
+
+    def _run_parallel(self, job: Job, space_ref: RemoteRef):
+        procs = []
+        for component in job.exertions:
+            if not isinstance(component, Task):
+                raise TypeError("space-based dispatch supports task components only")
+            procs.append(self.env.process(
+                self._dispatch_one(component, space_ref),
+                name=f"spacer:{component.name}"))
+        results = yield self.env.all_of(procs)
+        job.exertions = list(results)
+        for result in results:
+            self._collect(job, result)
+
+    # -- data flow (same conventions as the Jobber) ------------------------------------
+
+    def _apply_pipes(self, job: Job, component: Exertion) -> None:
+        for pipe in job.pipes:
+            if pipe.to_exertion != component.name:
+                continue
+            source = job.component(pipe.from_exertion)
+            if not source.is_done:
+                raise ValueError(f"pipe source {pipe.from_exertion!r} has not completed")
+            component.context.put_in_value(
+                pipe.to_path, source.context.get_value(pipe.from_path))
+
+    def _collect(self, job: Job, result: Exertion) -> None:
+        job.context.put_value(
+            f"{result.name}/{result.context.return_path}",
+            result.context.get_return_value(default=None))
+
+
+class SpaceWorker:
+    """Pulls envelopes matching a provider's capabilities and executes them.
+
+    ``use_transactions=True`` wraps each take in a transaction from the
+    given transaction manager so a crash restores the envelope.
+    """
+
+    def __init__(self, provider: ServiceProvider, space_ref: RemoteRef,
+                 txn_manager_ref: Optional[RemoteRef] = None,
+                 poll_timeout: float = 5.0,
+                 txn_duration: float = 30.0):
+        self.provider = provider
+        self.host = provider.host
+        self.env = provider.env
+        self.space_ref = space_ref
+        self.txn_manager_ref = txn_manager_ref
+        self.poll_timeout = poll_timeout
+        self.txn_duration = txn_duration
+        self._endpoint = rpc_endpoint(self.host)
+        self._active = False
+        self.executed = 0
+
+    def templates(self) -> list[SpaceTemplate]:
+        return [SpaceTemplate(service_type=t)
+                for t in self.provider.service_types if t != "Servicer"]
+
+    def start(self) -> None:
+        if self._active:
+            return
+        self._active = True
+        self.env.process(self._loop(), name=f"space-worker:{self.provider.name}")
+
+    def stop(self) -> None:
+        self._active = False
+
+    def _loop(self):
+        templates = self.templates()
+        while self._active:
+            if not self.host.up:
+                yield self.env.timeout(1.0)
+                continue
+            worked = yield from self._work_one(templates)
+            if not worked:
+                yield self.env.timeout(0.1)
+
+    def _work_one(self, template):
+        txn_id = None
+        try:
+            if self.txn_manager_ref is not None:
+                created = yield self._endpoint.call(
+                    self.txn_manager_ref, "create", self.txn_duration,
+                    kind="txn-create")
+                txn_id = created.txn_id
+                yield self._endpoint.call(
+                    self.txn_manager_ref, "join", txn_id, self.space_ref,
+                    kind="txn-join")
+            envelope = yield self._endpoint.call(
+                self.space_ref, "take", template, txn_id, self.poll_timeout,
+                kind="space-take", timeout=self.poll_timeout + 5.0)
+            if envelope is None:
+                if txn_id is not None:
+                    yield self._endpoint.call(self.txn_manager_ref, "abort",
+                                              txn_id, kind="txn-abort")
+                return False
+            # Execute locally: the worker lives on the provider's host.
+            result = yield self.env.process(
+                self.provider.service(envelope.task, txn_id))
+            yield self._endpoint.call(
+                self.space_ref, "write_result", envelope.envelope_id, result,
+                kind="space-result-write")
+            if txn_id is not None:
+                yield self._endpoint.call(self.txn_manager_ref, "commit",
+                                          txn_id, kind="txn-commit", timeout=10.0)
+            self.executed += 1
+            return True
+        except NetworkError:
+            # Space or txn manager unreachable; retry after a beat.
+            yield self.env.timeout(1.0)
+            return False

@@ -1,0 +1,16 @@
+"""Tasker — the generic domain task peer.
+
+Concrete domain providers usually subclass :class:`Tasker` and register
+operations; it adds the ``Tasker`` remote type so infrastructure tooling can
+tell task peers from rendezvous peers.
+"""
+
+from __future__ import annotations
+
+from .provider import ServiceProvider
+
+__all__ = ["Tasker"]
+
+
+class Tasker(ServiceProvider):
+    SERVICE_TYPES = ("Tasker",)

@@ -1,0 +1,5 @@
+"""Small shared utilities (identifier generation)."""
+
+from .ids import IdSource
+
+__all__ = ["IdSource"]

@@ -1,0 +1,139 @@
+"""TCI/SSP/ASP baseline framework."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.net import FixedLatency, Host, Network, RemoteError, rpc_endpoint
+from repro.jini import LookupService, ServiceTemplate
+from repro.sensors import PhysicalEnvironment, TemperatureProbe
+from repro.baselines import (
+    ApplicationServiceProvider,
+    TciSensorServiceProvider,
+    TerminalCommunicationInterface,
+)
+
+
+@pytest.fixture
+def stack():
+    env = Environment()
+    net = Network(env, rng=np.random.default_rng(19),
+                  latency=FixedLatency(0.001))
+    world = PhysicalEnvironment(seed=19)
+    lus = LookupService(Host(net, "lus-host"))
+    lus.start()
+    # Two TCIs with two sensors each.
+    tcis = []
+    for t in range(2):
+        host = Host(net, f"tci-{t}")
+        probes = {
+            f"sensor-{t}-{s}": TemperatureProbe(
+                env, f"probe-{t}-{s}", world, (t * 20.0 + s * 5.0, 0.0),
+                rng=np.random.default_rng(t * 10 + s), sensing_noise=0.0)
+            for s in range(2)
+        }
+        tci = TerminalCommunicationInterface(host, f"TCI-{t}", probes)
+        tci.start()
+        tcis.append(tci)
+    ssp = TciSensorServiceProvider(Host(net, "ssp-host"))
+    ssp.start()
+    asp = ApplicationServiceProvider(Host(net, "asp-host"))
+    asp.start()
+    client = rpc_endpoint(Host(net, "client"))
+    return env, net, world, lus, tcis, ssp, asp, client
+
+
+def test_all_levels_register(stack):
+    env, net, world, lus, tcis, ssp, asp, client = stack
+    env.run(until=5.0)
+    assert len(lus.lookup(ServiceTemplate.by_type("TCI"), 10)) == 2
+    assert len(lus.lookup(ServiceTemplate.by_type("TciSSP"), 10)) == 1
+    assert len(lus.lookup(ServiceTemplate.by_type("TciASP"), 10)) == 1
+
+
+def test_tci_reads_its_sensors(stack):
+    env, net, world, lus, tcis, ssp, asp, client = stack
+
+    def proc():
+        yield env.timeout(3.0)
+        values = yield client.call(tcis[0].ref, "read_all")
+        return values
+
+    values = env.run(until=env.process(proc()))
+    assert sorted(values) == ["sensor-0-0", "sensor-0-1"]
+    truth = world.sample("temperature", (0.0, 0.0), env.now)
+    assert abs(values["sensor-0-0"] - truth) < 1.0
+
+
+def test_ssp_structures_by_tci(stack):
+    env, net, world, lus, tcis, ssp, asp, client = stack
+
+    def proc():
+        yield env.timeout(3.0)
+        structured = yield client.call(ssp.ref, "collect", timeout=20.0)
+        return structured
+
+    structured = env.run(until=env.process(proc()))
+    assert sorted(structured) == ["TCI-0", "TCI-1"]
+    assert sorted(structured["TCI-1"]) == ["sensor-1-0", "sensor-1-1"]
+
+
+def test_asp_mean_matches_ground_truth(stack):
+    env, net, world, lus, tcis, ssp, asp, client = stack
+
+    def proc():
+        yield env.timeout(3.0)
+        value = yield client.call(asp.ref, "query", "mean", timeout=30.0)
+        return value
+
+    value = env.run(until=env.process(proc()))
+    locations = [(0.0, 0.0), (5.0, 0.0), (20.0, 0.0), (25.0, 0.0)]
+    truth = world.mean_over("temperature", locations, env.now)
+    assert abs(value - truth) < 1.0
+
+
+def test_asp_rejects_custom_computation(stack):
+    """The rigidity SenSORCER fixes: no client-supplied expressions."""
+    env, net, world, lus, tcis, ssp, asp, client = stack
+
+    def proc():
+        yield env.timeout(3.0)
+        try:
+            yield client.call(asp.ref, "query", "(a + b)/2", timeout=30.0)
+        except RemoteError as exc:
+            return type(exc.cause).__name__
+
+    assert env.run(until=env.process(proc())) == "ValueError"
+
+
+def test_regrouping_requires_new_asp(stack):
+    """Selecting a sensor subset = deploy a replacement ASP."""
+    env, net, world, lus, tcis, ssp, asp, client = stack
+
+    def proc():
+        yield env.timeout(3.0)
+        # The running ASP aggregates everything; to focus on TCI-0's sensors
+        # the old ASP must be destroyed and a new one deployed.
+        yield env.process(asp.destroy())
+        replacement = ApplicationServiceProvider(
+            Host(net, "asp2-host"), name="ASP",
+            include_sensors=["sensor-0-0", "sensor-0-1"])
+        replacement.start()
+        yield env.timeout(3.0)  # discovery/join of the new ASP
+        value = yield client.call(replacement.ref, "query", "mean", timeout=30.0)
+        return value
+
+    value = env.run(until=env.process(proc()))
+    truth = world.mean_over("temperature", [(0.0, 0.0), (5.0, 0.0)], env.now)
+    assert abs(value - truth) < 1.0
+
+
+def test_asp_count_operation(stack):
+    env, net, world, lus, tcis, ssp, asp, client = stack
+
+    def proc():
+        yield env.timeout(3.0)
+        count = yield client.call(asp.ref, "query", "count", timeout=30.0)
+        return count
+
+    assert env.run(until=env.process(proc())) == 4

@@ -1,0 +1,13 @@
+"""Global test configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# Simulation-heavy property tests can blow hypothesis's per-example
+# deadline on a cold interpreter; wall-clock time is not what these tests
+# are about, so disable it (and the matching health check).
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,52 @@
+"""Fixtures for core-layer tests: a lab with LUS + jobber + sensors."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.net import FixedLatency, Host, Network
+from repro.jini import LookupService
+from repro.jini.entries import Location
+from repro.sensors import PhysicalEnvironment, TemperatureProbe
+from repro.sorcer import Jobber
+from repro.core import ElementarySensorProvider
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def net(env):
+    return Network(env, rng=np.random.default_rng(31),
+                   latency=FixedLatency(0.001))
+
+
+@pytest.fixture
+def world():
+    return PhysicalEnvironment(seed=31)
+
+
+@pytest.fixture
+def grid(env, net, world):
+    """LUS + jobber; returns (env, net, world, lus)."""
+    lus = LookupService(Host(net, "lus-host"))
+    lus.start()
+    Jobber(Host(net, "jobber-host")).start()
+    return env, net, world, lus
+
+
+def make_esp(net, world, name, location=(0.0, 0.0), sample_interval=1.0,
+             seed=0, probe=None):
+    """Start an ESP with a plain temperature probe on its own host."""
+    host = Host(net, f"{name}-host")
+    if probe is None:
+        probe = TemperatureProbe(net.env, name.lower(), world, location,
+                                 rng=np.random.default_rng(seed),
+                                 sensing_noise=0.0)
+    esp = ElementarySensorProvider(host, name, probe,
+                                   sample_interval=sample_interval,
+                                   location=Location(building="Lab"))
+    esp.start()
+    return esp

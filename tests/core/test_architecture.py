@@ -1,0 +1,111 @@
+"""FIG1 — the component architecture of the paper's UML diagram.
+
+Fig 1 shows: Sensor Probe (only sensor-dependent part) -> ESP via the
+DataCollection interface -> SensorDataAccessor exposed to requestors; CSP
+composing ESPs/CSPs with Sensor Computation; the Façade with Sensor Network
+Manager, Service Accessor and Sensor Service Provisioner. These tests pin
+the code to that structure.
+"""
+
+import inspect
+
+from repro.core import (
+    COMPOSITE_PROVIDER,
+    CompositeSensorProvider,
+    DATA_COLLECTION,
+    ELEMENTARY_PROVIDER,
+    ElementarySensorProvider,
+    FACADE,
+    SENSOR_DATA_ACCESSOR,
+    SensorcerFacade,
+    SensorNetworkManager,
+    SensorServiceProvisioner,
+)
+from repro.sensors import BaseProbe, SensorProbe
+from repro.sorcer import ServiceProvider
+from repro.sorcer.accessor import ServiceAccessor
+
+
+def test_esp_implements_sensor_data_accessor_and_data_collection():
+    assert SENSOR_DATA_ACCESSOR in ElementarySensorProvider.SERVICE_TYPES
+    assert DATA_COLLECTION in ElementarySensorProvider.SERVICE_TYPES
+    assert ELEMENTARY_PROVIDER in ElementarySensorProvider.SERVICE_TYPES
+
+
+def test_csp_implements_sensor_data_accessor():
+    assert SENSOR_DATA_ACCESSOR in CompositeSensorProvider.SERVICE_TYPES
+    assert COMPOSITE_PROVIDER in CompositeSensorProvider.SERVICE_TYPES
+
+
+def test_esp_and_csp_share_the_common_interface():
+    """Clients address both uniformly — the paper's uniform aggregation
+    interface (§II.6)."""
+    shared = (set(ElementarySensorProvider.SERVICE_TYPES)
+              & set(CompositeSensorProvider.SERVICE_TYPES))
+    assert SENSOR_DATA_ACCESSOR in shared
+
+
+def test_providers_are_servicers():
+    """All providers expose only service(exertion, txn) remotely (§IV.D)."""
+    for cls in (ElementarySensorProvider, CompositeSensorProvider,
+                SensorcerFacade):
+        assert issubclass(cls, ServiceProvider)
+        assert callable(getattr(cls, "service"))
+
+
+def test_probe_is_the_only_sensor_dependent_component():
+    """The ESP depends on the probe *interface*, not on a concrete driver."""
+    signature = inspect.signature(ElementarySensorProvider.__init__)
+    assert "probe" in signature.parameters
+    # Drivers subclass the abstract probe; the ESP module must not import
+    # any concrete driver.
+    import repro.core.esp as esp_module
+    source = inspect.getsource(esp_module)
+    for driver in ("TemperatureProbe", "SunSpot", "HumidityProbe"):
+        assert driver not in source
+    assert issubclass(BaseProbe, SensorProbe)
+
+
+def test_facade_wires_manager_accessor_and_provisioner():
+    """Fig 1: the façade uses Sensor Network Manager, Service Accessor and
+    Sensor Service Provisioner."""
+    signature = inspect.signature(SensorcerFacade.__init__)
+    assert "provisioner" in signature.parameters
+    # Attribute wiring is established in the constructor source.
+    source = inspect.getsource(SensorcerFacade.__init__)
+    assert "SensorNetworkManager" in source
+    assert "provisioner" in source
+    assert "accessor" in source
+
+
+def test_facade_exposes_the_fig2_operations():
+    facade_ops = {"listSensors", "getValue", "getSensorInfo",
+                  "composeService", "addExpression", "createService",
+                  "networkSnapshot"}
+    source = inspect.getsource(SensorcerFacade.__init__)
+    for op in facade_ops:
+        assert op in source
+
+
+def test_csp_management_reduces_to_single_provider():
+    """§V.B: network management semantics reduce to managing one CSP."""
+    csp = CompositeSensorProvider.__new__(CompositeSensorProvider)
+    # Operations are registered in __init__; assert against the selector
+    # constants the operations use.
+    source = inspect.getsource(CompositeSensorProvider.__init__)
+    for constant in ("OP_ADD_SERVICE", "OP_REMOVE_SERVICE",
+                     "OP_SET_EXPRESSION", "OP_LIST_SERVICES"):
+        assert constant in source
+
+
+def test_provisioner_is_rio_backed():
+    source = inspect.getsource(SensorServiceProvisioner)
+    assert "OperationalString" in source
+    assert "ProvisionMonitor" in source or "MONITOR_TYPE" in source
+
+
+def test_accessor_is_shared_component():
+    assert isinstance(SensorcerFacade.__init__.__doc__ or "", str)
+    signature = inspect.signature(SensorServiceProvisioner.__init__)
+    assert "accessor" in signature.parameters
+    assert ServiceAccessor is not None

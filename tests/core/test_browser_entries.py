@@ -1,0 +1,49 @@
+"""Browser Entry Value pane (Fig 2's attribute table)."""
+
+import pytest
+
+from repro.scenarios import build_paper_lab
+from repro.core import BrowserError
+from repro.jini import Location, Name, SensorType
+
+
+@pytest.fixture(scope="module")
+def lab():
+    lab = build_paper_lab(seed=77)
+    lab.settle(6.0)
+    return lab
+
+
+def test_get_attributes_returns_entries(lab):
+    attrs = lab.env.run(until=lab.env.process(
+        lab.browser.get_attributes("Neem-Sensor")))
+    kinds = {type(a) for a in attrs}
+    assert Name in kinds
+    assert SensorType in kinds
+    assert Location in kinds
+    location = next(a for a in attrs if isinstance(a, Location))
+    # The paper's Fig 2 entry pane: floor 3, room 310, building CP TTU.
+    assert (location.floor, location.room, location.building) == \
+        ("3", "310", "CP TTU")
+
+
+def test_render_entries_pane(lab):
+    lab.env.run(until=lab.env.process(
+        lab.browser.get_attributes("Jade-Sensor")))
+    pane = lab.browser.render_entries_pane()
+    assert "Jade-Sensor" in pane
+    assert "Location.building" in pane
+    assert "CP TTU" in pane
+    assert "SensorType.quantity" in pane
+    assert "temperature" in pane
+
+
+def test_entries_pane_empty_without_selection(lab):
+    lab.browser.model["entries"] = None
+    assert "no service selected" in lab.browser.render_entries_pane()
+
+
+def test_get_attributes_unknown_service(lab):
+    with pytest.raises(BrowserError):
+        lab.env.run(until=lab.env.process(
+            lab.browser.get_attributes("Nope")))

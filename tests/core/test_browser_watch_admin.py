@@ -1,0 +1,61 @@
+"""Browser watch (time series) and admin (registry) panes."""
+
+import pytest
+
+from repro.scenarios import SENSOR_NAMES, build_paper_lab
+
+
+@pytest.fixture(scope="module")
+def lab():
+    lab = build_paper_lab(seed=314)
+    lab.settle(6.0)
+    return lab
+
+
+def run(lab, gen):
+    return lab.env.run(until=lab.env.process(gen))
+
+
+def test_watch_collects_series(lab):
+    series = run(lab, lab.browser.watch(["Neem-Sensor", "Coral-Sensor"],
+                                        interval=2.0, rounds=4))
+    assert set(series) == {"Neem-Sensor", "Coral-Sensor"}
+    for points in series.values():
+        assert len(points) == 4
+        times = [t for t, _ in points]
+        assert times == sorted(times)
+        assert all(isinstance(v, float) for _, v in points)
+    # Sampling respected the interval.
+    neem_times = [t for t, _ in series["Neem-Sensor"]]
+    gaps = [b - a for a, b in zip(neem_times, neem_times[1:])]
+    assert all(g >= 2.0 for g in gaps)
+
+
+def test_watch_pane_renders(lab):
+    run(lab, lab.browser.watch(["Neem-Sensor"], interval=1.0, rounds=2))
+    pane = lab.browser.render_watch_pane()
+    assert "Watch" in pane
+    assert "Neem-Sensor" in pane
+    assert len(pane.splitlines()) == 5  # title + rule + header + 2 rows
+
+
+def test_watch_handles_unknown_service(lab):
+    series = run(lab, lab.browser.watch(["Ghost"], interval=1.0, rounds=2))
+    assert series["Ghost"] == [(pytest.approx(series["Ghost"][0][0]), None),
+                               (pytest.approx(series["Ghost"][1][0]), None)]
+    pane = lab.browser.render_watch_pane()
+    assert "-" in pane
+
+
+def test_registry_admin_lists_all_registrations(lab):
+    admin = run(lab, lab.browser.registry_admin())
+    assert len(admin) == 1  # one registrar in the paper lab
+    rows = next(iter(admin.values()))
+    names = {row["name"] for row in rows}
+    assert set(SENSOR_NAMES) <= names
+    for row in rows:
+        assert row["lease_remaining"] is not None
+        assert row["lease_remaining"] >= 0.0
+    pane = lab.browser.render_admin_pane()
+    assert "registrar" in pane
+    assert "Neem-Sensor" in pane

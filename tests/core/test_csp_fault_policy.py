@@ -1,0 +1,98 @@
+"""CSP fault policies: strict vs skip aggregation."""
+
+import pytest
+
+from repro.net import Host
+from repro.sorcer import Exerter, ServiceContext, Signature, Strategy, Task
+from repro.core import (
+    CompositeSensorProvider,
+    CompositionError,
+    OP_GET_VALUE,
+    SENSOR_DATA_ACCESSOR,
+)
+
+from .conftest import make_esp
+
+
+def make_csp(net, fault_policy):
+    csp = CompositeSensorProvider(Host(net, f"csp-{fault_policy}-host"),
+                                  f"Composite-{fault_policy}",
+                                  fault_policy=fault_policy,
+                                  child_wait=1.0)
+    csp.start()
+    return csp
+
+
+def query(env, net, csp, tag):
+    exerter = Exerter(Host(net, f"fp-client-{tag}"))
+
+    def proc():
+        yield env.timeout(2.0)
+        task = Task("q", Signature(SENSOR_DATA_ACCESSOR, OP_GET_VALUE,
+                                   service_id=csp.service_id),
+                    ServiceContext())
+        result = yield env.process(exerter.exert(task))
+        return result
+
+    return env.run(until=env.process(proc()))
+
+
+def test_invalid_policy_rejected(grid):
+    env, net, world, lus = grid
+    with pytest.raises(ValueError):
+        CompositeSensorProvider(Host(net, "bad-host"), "Bad",
+                                fault_policy="lenient")
+
+
+def test_skip_policy_aggregates_survivors(grid):
+    env, net, world, lus = grid
+    esp1 = make_esp(net, world, "S1", location=(0.0, 0.0))
+    esp2 = make_esp(net, world, "S2", location=(100.0, 0.0))
+    esp3 = make_esp(net, world, "S3", location=(200.0, 0.0))
+    csp = make_csp(net, "skip")
+    for esp in (esp1, esp2, esp3):
+        csp.add_child(esp.service_id, esp.name)
+    env.run(until=3.0)
+    esp2.host.fail()
+    env.run(until=60.0)  # lease lapses
+    result = query(env, net, csp, "skip")
+    assert result.is_done, result.exceptions
+    truth = world.mean_over("temperature", [(0, 0), (200, 0)], env.now)
+    assert abs(result.get_return_value() - truth) < 1.0
+
+
+def test_strict_policy_fails_on_dead_child(grid):
+    env, net, world, lus = grid
+    esp1 = make_esp(net, world, "S1")
+    esp2 = make_esp(net, world, "S2")
+    csp = make_csp(net, "strict")
+    csp.add_child(esp1.service_id, esp1.name)
+    csp.add_child(esp2.service_id, esp2.name)
+    env.run(until=3.0)
+    esp2.host.fail()
+    env.run(until=60.0)
+    result = query(env, net, csp, "strict")
+    assert result.is_failed
+
+
+def test_skip_policy_rejects_expressions(grid):
+    env, net, world, lus = grid
+    csp = make_csp(net, "skip")
+    csp.add_child("id-1", "S1")
+    csp.add_child("id-2", "S2")
+    with pytest.raises(CompositionError):
+        csp.set_expression("(a + b)/2")
+
+
+def test_skip_policy_all_dead_still_fails(grid):
+    env, net, world, lus = grid
+    esp = make_esp(net, world, "S1")
+    csp = make_csp(net, "skip")
+    csp.add_child(esp.service_id, esp.name)
+    env.run(until=3.0)
+    esp.host.fail()
+    env.run(until=60.0)
+    result = query(env, net, csp, "alldead")
+    assert result.is_failed
+    assert "no component answered" in str(result.exceptions) \
+        or "no provider" in str(result.exceptions)

@@ -1,0 +1,156 @@
+"""Elementary sensor provider behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.net import Host
+from repro.jini import SensorType, ServiceTemplate
+from repro.sensors import FaultInjector, FaultMode, Reading, TemperatureProbe
+from repro.sorcer import Exerter, ServiceContext, Signature, Task
+from repro.core import (
+    KIND_ELEMENTARY,
+    OP_GET_HISTORY,
+    OP_GET_INFO,
+    OP_GET_READING,
+    OP_GET_STATS,
+    OP_GET_VALUE,
+    SENSOR_DATA_ACCESSOR,
+)
+
+from .conftest import make_esp
+
+
+def exert_op(env, net, esp_name, selector, settle=2.0, **args):
+    exerter = Exerter(Host(net, f"req-{selector}-{esp_name}"))
+
+    def proc():
+        yield env.timeout(settle)
+        ctx = ServiceContext()
+        for key, value in args.items():
+            ctx.put_in_value(f"arg/{key}", value)
+        task = Task(f"t-{selector}",
+                    Signature(SENSOR_DATA_ACCESSOR, selector,
+                              provider_name=esp_name), ctx)
+        result = yield env.process(exerter.exert(task))
+        return result
+
+    return env.run(until=env.process(proc()))
+
+
+def test_esp_registers_as_sensor_accessor(grid):
+    env, net, world, lus = grid
+    make_esp(net, world, "T1")
+    env.run(until=3.0)
+    items = lus.lookup(ServiceTemplate.by_type(SENSOR_DATA_ACCESSOR), 10)
+    assert len(items) == 1
+    assert items[0].name() == "T1"
+
+
+def test_esp_sensor_type_entry(grid):
+    env, net, world, lus = grid
+    make_esp(net, world, "T1")
+    env.run(until=3.0)
+    items = lus.lookup(ServiceTemplate(attributes=(
+        SensorType(quantity="temperature", service_kind=KIND_ELEMENTARY),)), 10)
+    assert len(items) == 1
+
+
+def test_get_value_matches_ground_truth(grid):
+    env, net, world, lus = grid
+    make_esp(net, world, "T1", location=(4.0, 2.0))
+    result = exert_op(env, net, "T1", OP_GET_VALUE)
+    assert result.is_done
+    value = result.get_return_value()
+    truth = world.sample("temperature", (4.0, 2.0), env.now)
+    assert abs(value - truth) < 1.0
+
+
+def test_sampler_fills_buffer(grid):
+    env, net, world, lus = grid
+    esp = make_esp(net, world, "T1", sample_interval=0.5)
+    env.run(until=10.0)
+    assert len(esp.buffer) >= 15
+    assert esp.buffer.last().timestamp <= env.now
+
+
+def test_get_reading_returns_reading(grid):
+    env, net, world, lus = grid
+    make_esp(net, world, "T1")
+    result = exert_op(env, net, "T1", OP_GET_READING)
+    reading = result.get_return_value()
+    assert isinstance(reading, Reading)
+    assert reading.unit == "celsius"
+
+
+def test_get_info_shape(grid):
+    env, net, world, lus = grid
+    make_esp(net, world, "T1")
+    result = exert_op(env, net, "T1", OP_GET_INFO)
+    info = result.get_return_value()
+    assert info["name"] == "T1"
+    assert info["service_type"] == KIND_ELEMENTARY
+    assert info["quantity"] == "temperature"
+    assert info["contained_services"] == []
+    assert info["expression"] is None
+
+
+def test_get_history_respects_count(grid):
+    env, net, world, lus = grid
+    make_esp(net, world, "T1", sample_interval=0.5)
+    result = exert_op(env, net, "T1", OP_GET_HISTORY, settle=10.0, count=5)
+    history = result.get_return_value()
+    assert len(history) == 5
+    assert all(isinstance(r, Reading) for r in history)
+    # Oldest-first ordering.
+    times = [r.timestamp for r in history]
+    assert times == sorted(times)
+
+
+def test_get_stats(grid):
+    env, net, world, lus = grid
+    make_esp(net, world, "T1", sample_interval=0.5)
+    result = exert_op(env, net, "T1", OP_GET_STATS, settle=10.0)
+    stats = result.get_return_value()
+    assert stats["count"] >= 15
+    assert stats["min"] <= stats["mean"] <= stats["max"]
+
+
+def test_probe_faults_counted_not_fatal(grid):
+    env, net, world, lus = grid
+    injector = FaultInjector(np.random.default_rng(0))
+    injector.schedule(FaultMode.DROPOUT, start=2.0, end=6.0)
+    probe = TemperatureProbe(env, "t1", world, (0, 0),
+                             rng=np.random.default_rng(1),
+                             fault_injector=injector)
+    esp = make_esp(net, world, "T1", sample_interval=0.5, probe=probe)
+    env.run(until=12.0)
+    assert esp.sample_errors > 0
+    # Healthy again after the window: recent readings exist.
+    assert esp.buffer.last().timestamp > 6.0
+
+
+def test_fresh_read_when_buffer_stale(grid):
+    env, net, world, lus = grid
+    esp = make_esp(net, world, "T1", sample_interval=1.0)
+    env.run(until=5.0)
+    esp._sampling = False  # sampling stops; buffer goes stale
+    env.run(until=30.0)
+    result = exert_op(env, net, "T1", OP_GET_VALUE, settle=0.1)
+    reading = esp.buffer.last()
+    # A fresh probe read happened at query time, not a stale buffered one.
+    assert reading.timestamp > 29.0
+    assert result.is_done
+
+
+def test_destroy_disconnects_probe(grid):
+    env, net, world, lus = grid
+    esp = make_esp(net, world, "T1")
+    env.run(until=3.0)
+
+    def proc():
+        yield env.process(esp.destroy())
+
+    env.process(proc())
+    env.run(until=10.0)
+    assert not esp.probe.connected
+    assert lus.lookup(ServiceTemplate.by_type(SENSOR_DATA_ACCESSOR), 10) == []

@@ -1,0 +1,60 @@
+"""Façade decomposeService — runtime re-grouping through the browser."""
+
+import pytest
+
+from repro.net import Host
+from repro.sorcer import Jobber
+from repro.core import SensorBrowser, SensorcerFacade
+
+from .conftest import make_esp
+
+
+def test_decompose_restores_smaller_group(grid):
+    env, net, world, lus = grid
+    esp1 = make_esp(net, world, "S1", location=(0.0, 0.0))
+    esp2 = make_esp(net, world, "S2", location=(100.0, 0.0))
+    esp3 = make_esp(net, world, "S3", location=(200.0, 0.0))
+    from repro.core import CompositeSensorProvider
+    csp = CompositeSensorProvider(Host(net, "csp-host"), "Group")
+    csp.start()
+    SensorcerFacade(Host(net, "facade-host")).start()
+    browser = SensorBrowser(Host(net, "browser-host"))
+
+    def proc():
+        yield env.timeout(3.0)
+        yield from browser.compose_service("Group", ["S1", "S2", "S3"])
+        yield from browser.add_expression("Group", "(a + b + c)/3")
+        three = yield from browser.get_value("Group")
+        # Narrow to two sensors: expression must be retargeted first.
+        yield from browser.add_expression("Group", "(a + b)/2")
+        yield from browser.decompose_service("Group", "S3")
+        two = yield from browser.get_value("Group")
+        info = yield from browser.get_info("Group")
+        return three, two, info
+
+    three, two, info = env.run(until=env.process(proc()))
+    truth3 = world.mean_over("temperature", [(0, 0), (100, 0), (200, 0)], env.now)
+    truth2 = world.mean_over("temperature", [(0, 0), (100, 0)], env.now)
+    assert abs(three - truth3) < 1.0
+    assert abs(two - truth2) < 1.0
+    assert info["contained_services"] == ["S1", "S2"]
+
+
+def test_decompose_unknown_child_reports(grid):
+    env, net, world, lus = grid
+    from repro.core import BrowserError, CompositeSensorProvider
+    make_esp(net, world, "S1")
+    csp = CompositeSensorProvider(Host(net, "csp-host"), "Group")
+    csp.start()
+    SensorcerFacade(Host(net, "facade-host")).start()
+    browser = SensorBrowser(Host(net, "browser-host"))
+
+    def proc():
+        yield env.timeout(3.0)
+        yield from browser.compose_service("Group", ["S1"])
+        try:
+            yield from browser.decompose_service("Group", "Ghost")
+        except BrowserError:
+            return "reported"
+
+    assert env.run(until=env.process(proc())) == "reported"

@@ -1,0 +1,104 @@
+"""SensorNetworkManager (the logical-network model)."""
+
+import pytest
+
+from repro.core import NetworkModelError, SensorNetworkManager
+
+
+@pytest.fixture
+def manager():
+    m = SensorNetworkManager()
+    m.register_service("c1", "Composite-1", "COMPOSITE")
+    m.register_service("c2", "Composite-2", "COMPOSITE")
+    m.register_service("s1", "Sensor-1", "ELEMENTARY")
+    m.register_service("s2", "Sensor-2", "ELEMENTARY")
+    return m
+
+
+def test_register_and_lookup(manager):
+    assert manager.has_service("s1")
+    assert manager.name_of("s1") == "Sensor-1"
+    assert manager.kind_of("c1") == "COMPOSITE"
+    assert manager.services() == ["c1", "c2", "s1", "s2"]
+
+
+def test_reregister_updates_metadata(manager):
+    manager.register_service("s1", "Renamed", "ELEMENTARY")
+    assert manager.name_of("s1") == "Renamed"
+    assert len(manager.services()) == 4
+
+
+def test_unregister(manager):
+    manager.unregister_service("s2")
+    assert not manager.has_service("s2")
+    with pytest.raises(NetworkModelError):
+        manager.unregister_service("s2")
+
+
+def test_compose_and_children(manager):
+    manager.compose("c1", "s1")
+    manager.compose("c1", "s2")
+    assert manager.children_of("c1") == ["s1", "s2"]
+    assert manager.parents_of("s1") == ["c1"]
+
+
+def test_self_composition_rejected(manager):
+    with pytest.raises(NetworkModelError):
+        manager.compose("c1", "c1")
+
+
+def test_duplicate_edge_rejected(manager):
+    manager.compose("c1", "s1")
+    with pytest.raises(NetworkModelError):
+        manager.compose("c1", "s1")
+
+
+def test_cycle_rejected(manager):
+    manager.compose("c1", "c2")
+    with pytest.raises(NetworkModelError):
+        manager.compose("c2", "c1")
+
+
+def test_deep_cycle_rejected(manager):
+    manager.register_service("c3", "Composite-3", "COMPOSITE")
+    manager.compose("c1", "c2")
+    manager.compose("c2", "c3")
+    with pytest.raises(NetworkModelError):
+        manager.compose("c3", "c1")
+
+
+def test_decompose(manager):
+    manager.compose("c1", "s1")
+    manager.decompose("c1", "s1")
+    assert manager.children_of("c1") == []
+    with pytest.raises(NetworkModelError):
+        manager.decompose("c1", "s1")
+
+
+def test_subnet_members(manager):
+    manager.compose("c1", "c2")
+    manager.compose("c2", "s1")
+    manager.compose("c2", "s2")
+    assert manager.subnet_members("c1") == ["c2", "s1", "s2"]
+    assert manager.subnet_members("c2") == ["s1", "s2"]
+
+
+def test_roots(manager):
+    manager.compose("c1", "s1")
+    manager.compose("c1", "c2")
+    assert manager.roots() == ["c1", "s2"]
+
+
+def test_snapshot_roundtrip(manager):
+    manager.compose("c1", "s1")
+    snap = manager.snapshot()
+    assert {"service_id": "s1", "name": "Sensor-1",
+            "kind": "ELEMENTARY"} in snap["nodes"]
+    assert {"parent": "c1", "child": "s1"} in snap["edges"]
+
+
+def test_unknown_node_errors(manager):
+    with pytest.raises(NetworkModelError):
+        manager.compose("c1", "ghost")
+    with pytest.raises(NetworkModelError):
+        manager.children_of("ghost")

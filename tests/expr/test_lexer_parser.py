@@ -1,0 +1,130 @@
+"""Lexer and parser unit tests."""
+
+import pytest
+
+from repro.expr import (
+    Binary,
+    Call,
+    Conditional,
+    ExprSyntaxError,
+    Number,
+    TokenType,
+    Unary,
+    Variable,
+    parse,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+def test_tokenize_numbers():
+    tokens = tokenize("1 2.5 .5 1e3 2.5e-2")
+    numbers = [t.text for t in tokens if t.type is TokenType.NUMBER]
+    assert numbers == ["1", "2.5", ".5", "1e3", "2.5e-2"]
+
+
+def test_tokenize_identifiers():
+    tokens = tokenize("a bc _x a1")
+    idents = [t.text for t in tokens if t.type is TokenType.IDENT]
+    assert idents == ["a", "bc", "_x", "a1"]
+
+
+def test_tokenize_operators_maximal_munch():
+    tokens = tokenize("a<=b!=c&&d")
+    ops = [t.text for t in tokens if t.type is TokenType.OP]
+    assert ops == ["<=", "!=", "&&"]
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(ExprSyntaxError):
+        tokenize("a @ b")
+
+
+def test_parse_paper_expression():
+    # The exact expression from the paper's §VI experiment, step 2.
+    ast = parse("(a + b + c)/3")
+    assert isinstance(ast, Binary) and ast.op == "/"
+    assert ast.right == Number(3.0)
+    assert ast.free_variables() == {"a", "b", "c"}
+
+
+def test_parse_second_paper_expression():
+    ast = parse("(a + b)/2")
+    assert ast.free_variables() == {"a", "b"}
+
+
+def test_precedence_mul_over_add():
+    ast = parse("a + b * c")
+    assert isinstance(ast, Binary) and ast.op == "+"
+    assert isinstance(ast.right, Binary) and ast.right.op == "*"
+
+
+def test_power_right_associative():
+    ast = parse("a ^ b ^ c")
+    assert ast.op == "^"
+    assert isinstance(ast.right, Binary) and ast.right.op == "^"
+    assert ast.left == Variable("a")
+
+
+def test_unary_minus_binds_tighter_than_mul():
+    ast = parse("-a * b")
+    assert isinstance(ast, Binary) and ast.op == "*"
+    assert isinstance(ast.left, Unary)
+
+
+def test_comparison_below_arithmetic():
+    ast = parse("a + 1 > b * 2")
+    assert ast.op == ">"
+
+
+def test_ternary():
+    ast = parse("a > b ? a : b")
+    assert isinstance(ast, Conditional)
+    assert isinstance(ast.condition, Binary)
+
+
+def test_nested_ternary():
+    ast = parse("a ? b : c ? d : e")
+    # Right-associative: a ? b : (c ? d : e)
+    assert isinstance(ast, Conditional)
+    assert isinstance(ast.if_false, Conditional)
+
+
+def test_function_call_args():
+    ast = parse("avg(a, b, c)")
+    assert isinstance(ast, Call)
+    assert ast.func == "avg"
+    assert len(ast.args) == 3
+
+
+def test_function_call_no_args():
+    ast = parse("foo()")
+    assert isinstance(ast, Call) and ast.args == ()
+
+
+def test_nested_calls():
+    ast = parse("max(avg(a, b), abs(-c))")
+    assert isinstance(ast, Call)
+    assert ast.free_variables() == {"a", "b", "c"}
+
+
+@pytest.mark.parametrize("bad", [
+    "", "   ", "a +", "(a", "a)", "a b", "1 2", "avg(a,)", "? a : b",
+    "a ? b", "a ? b :", "((a)", "+", "a +* b",
+])
+def test_syntax_errors(bad):
+    with pytest.raises(ExprSyntaxError):
+        parse(bad)
+
+
+def test_trailing_input_rejected():
+    with pytest.raises(ExprSyntaxError):
+        parse("a + b c")
+
+
+def test_deeply_nested_parens():
+    ast = parse("(" * 50 + "a" + ")" * 50)
+    assert ast == Variable("a")

@@ -1,0 +1,148 @@
+"""Composition plans + self-healing: the logical network survives crashes.
+
+The scenario the fault_tolerant_fleet example does by hand: Rio re-creates
+a crashed composite *empty*; with a saved plan and self-healing enabled,
+the façade restores its composition and expression automatically.
+"""
+
+import pytest
+
+from repro.jini import ServiceTemplate
+from repro.core import CompositionPlan, SENSOR_DATA_ACCESSOR
+from repro.scenarios import build_paper_lab
+
+
+@pytest.fixture
+def lab():
+    lab = build_paper_lab(seed=404)
+    lab.settle(6.0)
+    return lab
+
+
+def run(lab, gen):
+    return lab.env.run(until=lab.env.process(gen))
+
+
+def build_fig3_network(lab):
+    browser = lab.browser
+
+    def build():
+        yield from browser.compose_service(
+            "Composite-Service",
+            ["Neem-Sensor", "Jade-Sensor", "Diamond-Sensor"])
+        yield from browser.add_expression("Composite-Service", "(a + b + c)/3")
+        yield from browser.create_service("New-Composite")
+        yield from browser.compose_service(
+            "New-Composite", ["Composite-Service", "Coral-Sensor"])
+        yield from browser.add_expression("New-Composite", "(a + b)/2")
+        return (yield from browser.get_value("New-Composite"))
+
+    return run(lab, build())
+
+
+def test_save_plan_captures_live_state(lab):
+    build_fig3_network(lab)
+    plan = run(lab, lab.browser.save_network_plan())
+    assert isinstance(plan, CompositionPlan)
+    names = plan.composites()
+    # Leaves-first: the subnet appears before the network that contains it.
+    assert names.index("Composite-Service") < names.index("New-Composite")
+    subnet = plan.entry_for("Composite-Service")
+    assert subnet.children == ("Neem-Sensor", "Jade-Sensor", "Diamond-Sensor")
+    assert subnet.expression == "(a + b + c)/3"
+    network = plan.entry_for("New-Composite")
+    assert network.children == ("Composite-Service", "Coral-Sensor")
+    assert network.expression == "(a + b)/2"
+
+
+def test_apply_plan_is_idempotent(lab):
+    build_fig3_network(lab)
+    plan = run(lab, lab.browser.save_network_plan())
+    actions = run(lab, lab.browser.apply_network_plan(plan))
+    assert actions == 0  # everything already matches
+
+
+def test_apply_plan_restores_wiped_composite(lab):
+    build_fig3_network(lab)
+    plan = run(lab, lab.browser.save_network_plan())
+    # Simulate a restart of the hand-built composite: wipe its state.
+    composite = lab.composite
+    composite.children = []
+    composite.expression = None
+    actions = run(lab, lab.browser.apply_network_plan(plan))
+    assert actions == 4  # 3 children + 1 expression
+    value = run(lab, lab.browser.get_value("New-Composite"))
+    assert isinstance(value, float)
+
+
+def test_apply_plan_refuses_conflicting_order(lab):
+    build_fig3_network(lab)
+    plan = run(lab, lab.browser.save_network_plan())
+    composite = lab.composite
+    # Re-order behind the plan's back: variables would shift.
+    composite.children = list(reversed(composite.children))
+    composite.expression = None
+    from repro.core import BrowserError
+    with pytest.raises(BrowserError):
+        run(lab, lab.browser.apply_network_plan(plan))
+
+
+def test_self_healing_after_cybernode_crash(lab):
+    """End to end: crash the node hosting New-Composite; Rio re-provisions
+    it empty; the façade's healing loop restores composition + expression;
+    queries work again with no manual intervention."""
+    env, browser = lab.env, lab.browser
+    build_fig3_network(lab)
+    plan = run(lab, lab.browser.save_network_plan())
+    run(lab, browser.enable_self_healing(plan, interval=2.0))
+
+    # Find and kill the cybernode hosting the provisioned composite.
+    def host_of():
+        item = yield from browser.accessor.find_one(
+            ServiceTemplate.by_name("New-Composite", SENSOR_DATA_ACCESSOR),
+            wait=3.0)
+        return item.service.host if item else None
+
+    home = run(lab, host_of())
+    assert home in ("cybernode-0", "cybernode-1")
+    lab.net.hosts[home].fail()
+
+    # Lease lapse (10s) + monitor poll + instantiate + healing round.
+    env.run(until=env.now + 40.0)
+    new_home = run(lab, host_of())
+    assert new_home is not None and new_home != home
+    assert lab.facade.healing_actions >= 3  # 2 children + expression
+
+    def verify():
+        info = yield from browser.get_info("New-Composite")
+        value = yield from browser.get_value("New-Composite")
+        return info, value
+
+    info, value = run(lab, verify())
+    assert info["contained_services"] == ["Composite-Service", "Coral-Sensor"]
+    assert info["expression"] == "(a + b)/2"
+    truth = (lab.ground_truth_mean(
+        ["Neem-Sensor", "Jade-Sensor", "Diamond-Sensor"])
+        + lab.world.sample("temperature", (3.0, 9.0), env.now)) / 2
+    assert abs(value - truth) < 1.5
+
+
+def test_disable_self_healing_stops_reapplying(lab):
+    build_fig3_network(lab)
+    plan = run(lab, lab.browser.save_network_plan())
+    run(lab, lab.browser.enable_self_healing(plan, interval=1.0))
+    run(lab, lab.browser.disable_self_healing())
+    before = lab.facade.healing_actions
+    lab.composite.children = []
+    lab.composite.expression = None
+    lab.env.run(until=lab.env.now + 10.0)
+    assert lab.facade.healing_actions == before  # nothing reapplied
+
+
+def test_plan_validation():
+    plan = CompositionPlan()
+    plan.add("A", ["x", "y"], "(a+b)/2")
+    with pytest.raises(ValueError):
+        plan.add("A", ["z"])
+    assert len(plan) == 1
+    assert plan.entry_for("missing") is None

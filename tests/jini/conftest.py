@@ -1,0 +1,22 @@
+"""Shared fixtures for jini-layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.net import FixedLatency, Host, Network
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def net(env):
+    """A quiet, fixed-latency network for deterministic assertions."""
+    return Network(env, rng=np.random.default_rng(7), latency=FixedLatency(0.001))
+
+
+def make_host(net, name):
+    return Host(net, name)

@@ -1,0 +1,90 @@
+"""LookupDiscoveryService — discovery on behalf of clients (Fig 2)."""
+
+import pytest
+
+from repro.net import Host, rpc_endpoint
+from repro.jini import LookupDiscoveryService, LookupService
+
+
+class Listener:
+    REMOTE_TYPES = ("RemoteEventListener",)
+
+    def __init__(self):
+        self.events = []
+
+    def notify(self, payload):
+        self.events.append(payload)
+
+
+def test_registrars_proxy_view(env, net):
+    lus = LookupService(Host(net, "lus-host"))
+    lus.start()
+    lds = LookupDiscoveryService(Host(net, "lds-host"))
+    client = rpc_endpoint(Host(net, "client"))
+
+    def proc():
+        yield env.timeout(3.0)
+        registrars = yield client.call(lds.ref, "registrars")
+        return registrars
+
+    registrars = env.run(until=env.process(proc()))
+    assert lus.lus_id in registrars
+    assert registrars[lus.lus_id].implements("ServiceRegistrar")
+
+
+def test_listener_hears_discovery_events(env, net):
+    lds = LookupDiscoveryService(Host(net, "lds-host"))
+    client_host = Host(net, "client")
+    client = rpc_endpoint(client_host)
+    listener = Listener()
+    listener_ref = client.export(listener, "listener")
+
+    def proc():
+        yield client.call(lds.ref, "register_listener", listener_ref)
+        # A LUS arrives later; the LDS must push a 'discovered' event.
+        lus = LookupService(Host(net, "late-lus"), announce_interval=2.0)
+        lus.start()
+        yield env.timeout(8.0)
+        return lus
+
+    lus = env.run(until=env.process(proc()))
+    kinds = [e["event"] for e in listener.events]
+    assert "discovered" in kinds
+    discovered = next(e for e in listener.events if e["event"] == "discovered")
+    assert discovered["lus_id"] == lus.lus_id
+
+
+def test_listener_hears_discard(env, net):
+    lus = LookupService(Host(net, "lus-host"), announce_interval=2.0)
+    lus.start()
+    lds = LookupDiscoveryService(Host(net, "lds-host"))
+    client = rpc_endpoint(Host(net, "client"))
+    listener = Listener()
+    listener_ref = client.export(listener, "listener")
+
+    def proc():
+        yield env.timeout(3.0)
+        yield client.call(lds.ref, "register_listener", listener_ref)
+        lus.host.fail()  # announcements stop; reaper discards
+        yield env.timeout(60.0)
+
+    env.run(until=env.process(proc()))
+    assert any(e["event"] == "discarded" for e in listener.events)
+
+
+def test_unregister_listener_stops_events(env, net):
+    lds = LookupDiscoveryService(Host(net, "lds-host"))
+    client = rpc_endpoint(Host(net, "client"))
+    listener = Listener()
+    listener_ref = client.export(listener, "listener")
+
+    def proc():
+        listener_id = yield client.call(lds.ref, "register_listener",
+                                        listener_ref)
+        yield client.call(lds.ref, "unregister_listener", listener_id)
+        lus = LookupService(Host(net, "late-lus"), announce_interval=2.0)
+        lus.start()
+        yield env.timeout(8.0)
+
+    env.run(until=env.process(proc()))
+    assert listener.events == []

@@ -1,0 +1,60 @@
+"""Entry matching semantics."""
+
+from repro.jini import (
+    Comment,
+    Location,
+    Name,
+    SensorType,
+    attributes_match,
+    entry_matches,
+)
+
+
+def test_exact_match():
+    assert entry_matches(Name("x"), Name("x"))
+
+
+def test_mismatch():
+    assert not entry_matches(Name("x"), Name("y"))
+
+
+def test_none_is_wildcard():
+    assert entry_matches(Name(None), Name("anything"))
+
+
+def test_cross_class_never_matches():
+    assert not entry_matches(Name("x"), Comment("x"))
+
+
+def test_partial_wildcard_location():
+    template = Location(building="CP TTU")
+    assert entry_matches(template, Location(floor="3", room="310", building="CP TTU"))
+    assert not entry_matches(template, Location(floor="3", room="310", building="Other"))
+
+
+def test_sensor_type_quantity_filter():
+    template = SensorType(quantity="temperature")
+    assert entry_matches(template, SensorType(
+        quantity="temperature", unit="celsius", technology="sunspot",
+        service_kind="ELEMENTARY"))
+    assert not entry_matches(template, SensorType(quantity="humidity"))
+
+
+def test_attributes_match_requires_all_templates():
+    attrs = [Name("Neem-Sensor"), SensorType(quantity="temperature")]
+    assert attributes_match([Name("Neem-Sensor")], attrs)
+    assert attributes_match(
+        [Name("Neem-Sensor"), SensorType(quantity="temperature")], attrs)
+    assert not attributes_match(
+        [Name("Neem-Sensor"), SensorType(quantity="humidity")], attrs)
+
+
+def test_attributes_match_empty_templates_always_true():
+    assert attributes_match([], [Name("x")])
+    assert attributes_match([], [])
+
+
+def test_entries_hashable_and_frozen():
+    assert hash(Name("a")) == hash(Name("a"))
+    s = {Name("a"), Name("a"), Name("b")}
+    assert len(s) == 2

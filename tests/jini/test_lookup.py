@@ -1,0 +1,322 @@
+"""LookupService: registration, template lookup, events, lease expiry."""
+
+import pytest
+
+from repro.net import Host, rpc_endpoint
+from repro.jini import (
+    LookupService,
+    Name,
+    SensorType,
+    ServiceItem,
+    ServiceTemplate,
+    TRANSITION_MATCH_NOMATCH,
+    TRANSITION_NOMATCH_MATCH,
+    ALL_TRANSITIONS,
+)
+
+
+class DummyService:
+    REMOTE_TYPES = ("SensorDataAccessor", "Servicer")
+
+    def getValue(self):
+        return 21.0
+
+
+class Listener:
+    REMOTE_TYPES = ("RemoteEventListener",)
+
+    def __init__(self):
+        self.events = []
+
+    def notify(self, event):
+        self.events.append(event)
+
+
+def make_lus(net, host_name="lus-host"):
+    host = Host(net, host_name)
+    lus = LookupService(host)
+    lus.start()
+    return host, lus
+
+
+def register_dummy(net, lus, name, host_name, types_obj=None):
+    """Register a dummy service directly (no join manager)."""
+    host = Host(net, host_name)
+    ep = rpc_endpoint(host)
+    obj = types_obj if types_obj is not None else DummyService()
+    ref = ep.export(obj, f"svc:{host_name}")
+    sid = net.ids.uuid()
+    item = ServiceItem(service_id=sid, service=ref,
+                       attributes=(Name(name), SensorType(quantity="temperature")))
+    return host, ep, item
+
+
+def test_register_and_lookup_by_name(env, net):
+    lus_host, lus = make_lus(net)
+    host, ep, item = register_dummy(net, lus, "Neem-Sensor", "h1")
+
+    def proc():
+        reg = yield ep.call(lus.ref, "register", item, 30.0)
+        found = yield ep.call(lus.ref, "lookup",
+                              ServiceTemplate.by_name("Neem-Sensor"), 10)
+        return reg, found
+
+    p = env.process(proc())
+    reg, found = env.run(until=p)
+    assert reg.service_id == item.service_id
+    assert len(found) == 1
+    assert found[0].service_id == item.service_id
+
+
+def test_lookup_by_type(env, net):
+    lus_host, lus = make_lus(net)
+    host, ep, item = register_dummy(net, lus, "S1", "h1")
+
+    def proc():
+        yield ep.call(lus.ref, "register", item, 30.0)
+        by_type = yield ep.call(lus.ref, "lookup",
+                                ServiceTemplate.by_type("SensorDataAccessor"), 10)
+        missing = yield ep.call(lus.ref, "lookup",
+                                ServiceTemplate.by_type("NoSuchType"), 10)
+        return by_type, missing
+
+    p = env.process(proc())
+    by_type, missing = env.run(until=p)
+    assert len(by_type) == 1 and missing == []
+
+
+def test_lookup_by_attribute_template(env, net):
+    lus_host, lus = make_lus(net)
+    h1, ep1, item1 = register_dummy(net, lus, "T1", "h1")
+    h2, ep2, item2 = register_dummy(net, lus, "T2", "h2")
+    item2 = item2.with_attributes((Name("T2"), SensorType(quantity="humidity")))
+
+    def proc():
+        yield ep1.call(lus.ref, "register", item1, 30.0)
+        yield ep1.call(lus.ref, "register", item2, 30.0)
+        temps = yield ep1.call(
+            lus.ref, "lookup",
+            ServiceTemplate(attributes=(SensorType(quantity="temperature"),)), 10)
+        return [i.name() for i in temps]
+
+    p = env.process(proc())
+    assert env.run(until=p) == ["T1"]
+
+
+def test_lookup_respects_max_matches(env, net):
+    lus_host, lus = make_lus(net)
+    items = []
+    ep = None
+    for i in range(5):
+        h, e, item = register_dummy(net, lus, f"S{i}", f"h{i}")
+        items.append(item)
+        ep = e
+
+    def proc():
+        for item in items:
+            yield ep.call(lus.ref, "register", item, 30.0)
+        found = yield ep.call(lus.ref, "lookup",
+                              ServiceTemplate.by_type("SensorDataAccessor"), 3)
+        return len(found)
+
+    p = env.process(proc())
+    assert env.run(until=p) == 3
+
+
+def test_lookup_by_service_id(env, net):
+    lus_host, lus = make_lus(net)
+    h, ep, item = register_dummy(net, lus, "S", "h1")
+
+    def proc():
+        yield ep.call(lus.ref, "register", item, 30.0)
+        found = yield ep.call(lus.ref, "lookup",
+                              ServiceTemplate(service_id=item.service_id), 10)
+        return found
+
+    p = env.process(proc())
+    assert len(env.run(until=p)) == 1
+
+
+def test_lease_expiry_deregisters(env, net):
+    lus_host, lus = make_lus(net)
+    h, ep, item = register_dummy(net, lus, "Ephemeral", "h1")
+
+    def proc():
+        yield ep.call(lus.ref, "register", item, 2.0)
+        found1 = yield ep.call(lus.ref, "lookup",
+                               ServiceTemplate.by_name("Ephemeral"), 10)
+        yield env.timeout(5.0)  # no renewal
+        found2 = yield ep.call(lus.ref, "lookup",
+                               ServiceTemplate.by_name("Ephemeral"), 10)
+        return len(found1), len(found2)
+
+    p = env.process(proc())
+    assert env.run(until=p) == (1, 0)
+
+
+def test_cancel_lease_deregisters_immediately(env, net):
+    lus_host, lus = make_lus(net)
+    h, ep, item = register_dummy(net, lus, "S", "h1")
+
+    def proc():
+        reg = yield ep.call(lus.ref, "register", item, 30.0)
+        yield ep.call(lus.ref, "cancel_lease", reg.lease.lease_id)
+        found = yield ep.call(lus.ref, "lookup", ServiceTemplate.by_name("S"), 10)
+        return len(found)
+
+    p = env.process(proc())
+    assert env.run(until=p) == 0
+
+
+def test_reregistration_replaces_attributes(env, net):
+    lus_host, lus = make_lus(net)
+    h, ep, item = register_dummy(net, lus, "Old-Name", "h1")
+
+    def proc():
+        yield ep.call(lus.ref, "register", item, 30.0)
+        updated = item.with_attributes((Name("New-Name"),))
+        yield ep.call(lus.ref, "register", updated, 30.0)
+        old = yield ep.call(lus.ref, "lookup", ServiceTemplate.by_name("Old-Name"), 10)
+        new = yield ep.call(lus.ref, "lookup", ServiceTemplate.by_name("New-Name"), 10)
+        all_items = yield ep.call(lus.ref, "lookup_all")
+        return len(old), len(new), len(all_items)
+
+    p = env.process(proc())
+    assert env.run(until=p) == (0, 1, 1)
+
+
+def test_event_on_arrival(env, net):
+    lus_host, lus = make_lus(net)
+    h, ep, item = register_dummy(net, lus, "S", "h1")
+    listener = Listener()
+    listener_ref = ep.export(listener, "listener")
+
+    def proc():
+        yield ep.call(lus.ref, "notify",
+                      ServiceTemplate.by_type("SensorDataAccessor"),
+                      ALL_TRANSITIONS, listener_ref, "hb", 60.0)
+        yield ep.call(lus.ref, "register", item, 30.0)
+        yield env.timeout(1.0)
+        return listener.events
+
+    p = env.process(proc())
+    events = env.run(until=p)
+    assert len(events) == 1
+    assert events[0].transition == TRANSITION_NOMATCH_MATCH
+    assert events[0].service_id == item.service_id
+    assert events[0].handback == "hb"
+    assert events[0].sequence == 1
+
+
+def test_event_on_departure_via_expiry(env, net):
+    lus_host, lus = make_lus(net)
+    h, ep, item = register_dummy(net, lus, "S", "h1")
+    listener = Listener()
+    listener_ref = ep.export(listener, "listener")
+
+    def proc():
+        yield ep.call(lus.ref, "register", item, 2.0)
+        yield ep.call(lus.ref, "notify",
+                      ServiceTemplate.by_type("SensorDataAccessor"),
+                      TRANSITION_MATCH_NOMATCH, listener_ref, None, 60.0)
+        yield env.timeout(5.0)
+        return listener.events
+
+    p = env.process(proc())
+    events = env.run(until=p)
+    assert len(events) == 1
+    assert events[0].transition == TRANSITION_MATCH_NOMATCH
+    assert events[0].item is None
+
+
+def test_event_transition_mask_filters(env, net):
+    lus_host, lus = make_lus(net)
+    h, ep, item = register_dummy(net, lus, "S", "h1")
+    listener = Listener()
+    listener_ref = ep.export(listener, "listener")
+
+    def proc():
+        # Only interested in departures; arrival must not be delivered.
+        yield ep.call(lus.ref, "notify",
+                      ServiceTemplate.by_type("SensorDataAccessor"),
+                      TRANSITION_MATCH_NOMATCH, listener_ref, None, 60.0)
+        reg = yield ep.call(lus.ref, "register", item, 30.0)
+        yield env.timeout(1.0)
+        arrivals = len(listener.events)
+        yield ep.call(lus.ref, "cancel_lease", reg.lease.lease_id)
+        yield env.timeout(1.0)
+        return arrivals, len(listener.events)
+
+    p = env.process(proc())
+    assert env.run(until=p) == (0, 1)
+
+
+def test_event_sequence_increments(env, net):
+    lus_host, lus = make_lus(net)
+    h, ep, item = register_dummy(net, lus, "S", "h1")
+    listener = Listener()
+    listener_ref = ep.export(listener, "listener")
+
+    def proc():
+        yield ep.call(lus.ref, "notify",
+                      ServiceTemplate.by_type("SensorDataAccessor"),
+                      ALL_TRANSITIONS, listener_ref, None, 60.0)
+        yield ep.call(lus.ref, "register", item, 30.0)
+        yield ep.call(lus.ref, "register", item, 30.0)  # MATCH_MATCH
+        yield env.timeout(1.0)
+        return [e.sequence for e in listener.events]
+
+    p = env.process(proc())
+    assert env.run(until=p) == [1, 2]
+
+
+def test_lus_crash_wipes_registry(env, net):
+    lus_host, lus = make_lus(net)
+    h, ep, item = register_dummy(net, lus, "S", "h1")
+
+    def proc():
+        yield ep.call(lus.ref, "register", item, 300.0)
+        lus_host.fail()
+        lus_host.recover()
+        found = yield ep.call(lus.ref, "lookup", ServiceTemplate.by_name("S"), 10)
+        return len(found)
+
+    p = env.process(proc())
+    assert env.run(until=p) == 0
+
+
+def test_register_without_id_rejected(env, net):
+    from repro.net import RemoteError
+    lus_host, lus = make_lus(net)
+    h, ep, item = register_dummy(net, lus, "S", "h1")
+    bad = ServiceItem(service_id="", service=item.service, attributes=item.attributes)
+
+    def proc():
+        try:
+            yield ep.call(lus.ref, "register", bad, 30.0)
+        except RemoteError as exc:
+            return type(exc.cause).__name__
+
+    p = env.process(proc())
+    assert env.run(until=p) == "ValueError"
+
+
+def test_notify_lease_expiry_stops_events(env, net):
+    """An event registration whose lease lapses is reaped: no more events."""
+    lus_host, lus = make_lus(net)
+    h, ep, item = register_dummy(net, lus, "S", "h1")
+    listener = Listener()
+    listener_ref = ep.export(listener, "listener")
+
+    def proc():
+        # Short-lived interest.
+        yield ep.call(lus.ref, "notify",
+                      ServiceTemplate.by_type("SensorDataAccessor"),
+                      ALL_TRANSITIONS, listener_ref, None, 2.0)
+        yield env.timeout(5.0)  # interest lease lapses
+        yield ep.call(lus.ref, "register", item, 30.0)
+        yield env.timeout(2.0)
+        return len(listener.events)
+
+    p = env.process(proc())
+    assert env.run(until=p) == 0

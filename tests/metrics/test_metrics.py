@@ -1,0 +1,106 @@
+"""Recorder and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import Recorder, format_value, render_table
+
+
+def test_record_and_summary():
+    rec = Recorder()
+    for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+        rec.record("latency", v)
+    s = rec.summary("latency")
+    assert s["count"] == 5
+    assert s["mean"] == 3.0
+    assert s["p50"] == 3.0
+    assert s["min"] == 1.0
+    assert s["max"] == 5.0
+    assert s["total"] == 15.0
+
+
+def test_empty_summary():
+    rec = Recorder()
+    s = rec.summary("nothing")
+    assert s["count"] == 0
+    assert s["mean"] is None
+
+
+def test_p95():
+    rec = Recorder()
+    for v in range(100):
+        rec.record("x", float(v))
+    assert rec.summary("x")["p95"] == pytest.approx(94.05)
+
+
+def test_counters():
+    rec = Recorder()
+    rec.count("errors")
+    rec.count("errors", 2)
+    assert rec.counter("errors") == 3
+    assert rec.counter("unknown") == 0
+
+
+def test_merge():
+    a, b = Recorder(), Recorder()
+    a.record("x", 1.0)
+    b.record("x", 3.0)
+    b.count("n", 5)
+    a.merge(b)
+    assert a.summary("x")["mean"] == 2.0
+    assert a.counter("n") == 5
+
+
+def test_series_names_sorted():
+    rec = Recorder()
+    rec.record("b", 1)
+    rec.record("a", 1)
+    assert rec.series_names() == ["a", "b"]
+
+
+def test_format_value():
+    assert format_value(None) == "-"
+    assert format_value(True) == "yes"
+    assert format_value(0.0) == "0"
+    assert format_value(3.14159) == "3.14"
+    assert format_value(1234567.0) == "1,234,567"
+    assert format_value(0.000123) == "0.000123"
+    assert format_value("text") == "text"
+
+
+def test_render_table_alignment():
+    table = render_table(
+        ["system", "latency", "bytes"],
+        [["direct", 1.5, 10400], ["sensorcer", 0.3, 1200]],
+        title="E-OVH")
+    lines = table.splitlines()
+    assert lines[0] == "E-OVH"
+    assert "system" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "direct" in lines[3]
+    assert "sensorcer" in lines[4]
+    # Right-aligned numeric columns line up.
+    assert lines[3].rstrip().endswith("10,400")
+    assert lines[4].rstrip().endswith("1,200")
+
+
+def test_render_traffic():
+    import numpy as np
+    from repro.sim import Environment
+    from repro.net import FixedLatency, Host, Network
+    from repro.metrics import render_traffic
+
+    env = Environment()
+    net = Network(env, rng=np.random.default_rng(1),
+                  latency=FixedLatency(0.001))
+    a, b = Host(net, "a"), Host(net, "b")
+    b.open_port("p", lambda m: None)
+    a.send("b", "p", kind="data", payload="x" * 50)
+    a.send("b", "p", kind="ctl", payload=1)
+    env.run()
+    table = render_traffic(net.stats)
+    lines = table.splitlines()
+    assert lines[-1].startswith("TOTAL")
+    assert "data" in table and "ctl" in table
+    # Sorted by total bytes descending: data row above ctl row.
+    assert table.index("data") < table.index("ctl")

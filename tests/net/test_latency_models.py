@@ -1,0 +1,70 @@
+"""Latency/loss models and per-host traffic accounting."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.net import BernoulliLoss, FixedLatency, Host, LanLatency, Network
+from repro.net.latency import NoLoss
+
+
+def test_fixed_latency_ignores_size():
+    model = FixedLatency(0.005)
+    assert model.delay("a", "b", 10) == 0.005
+    assert model.delay("a", "b", 1_000_000) == 0.005
+
+
+def test_lan_latency_serialization_term():
+    rng = np.random.default_rng(0)
+    model = LanLatency(rng, base=0.001, bandwidth_bps=1e6, jitter_mean=0.0)
+    small = model.delay("a", "b", 125)          # 1 ms of serialization
+    large = model.delay("a", "b", 125_000)      # 1 s of serialization
+    assert small == pytest.approx(0.002)
+    assert large == pytest.approx(1.001)
+
+
+def test_lan_latency_jitter_positive_and_seeded():
+    d1 = LanLatency(np.random.default_rng(5)).delay("a", "b", 100)
+    d2 = LanLatency(np.random.default_rng(5)).delay("a", "b", 100)
+    assert d1 == d2
+    assert d1 > 0.0005  # base plus something
+
+
+def test_bernoulli_validation():
+    with pytest.raises(ValueError):
+        BernoulliLoss(np.random.default_rng(0), 1.5)
+
+
+def test_no_loss_never_drops():
+    model = NoLoss()
+    assert not any(model.dropped("a", "b", 100) for _ in range(100))
+
+
+def test_per_host_byte_accounting():
+    env = Environment()
+    net = Network(env, rng=np.random.default_rng(1),
+                  latency=FixedLatency(0.001))
+    a, b, c = Host(net, "a"), Host(net, "b"), Host(net, "c")
+    b.open_port("p", lambda m: None)
+    a.send("b", "p", kind="x", payload="payload-1")
+    a.send("b", "p", kind="x", payload="payload-2")
+    env.run()
+    stats_a = net.stats.host_bytes("a")
+    stats_b = net.stats.host_bytes("b")
+    stats_c = net.stats.host_bytes("c")
+    assert stats_a["sent_messages"] == 2
+    assert stats_a["received_messages"] == 0
+    assert stats_b["received_messages"] == 2
+    assert stats_a["sent"] == stats_b["received"] > 0
+    assert stats_c["sent"] == stats_c["received"] == 0
+
+
+def test_host_bytes_counted_even_if_receiver_drops():
+    """The ingress link carries the bytes whether or not a port listens."""
+    env = Environment()
+    net = Network(env, rng=np.random.default_rng(1),
+                  latency=FixedLatency(0.001))
+    a, b = Host(net, "a"), Host(net, "b")
+    a.send("b", "nobody", kind="x", payload=1)
+    env.run()
+    assert net.stats.host_bytes("b")["received_messages"] == 1

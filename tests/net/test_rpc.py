@@ -1,0 +1,255 @@
+"""Tests for the RPC layer."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.net import (
+    FixedLatency,
+    Host,
+    Network,
+    NoSuchObjectError,
+    RemoteError,
+    RemoteRef,
+    RpcTimeout,
+    rpc_endpoint,
+)
+
+
+class Calculator:
+    REMOTE_TYPES = ("Calculator",)
+
+    def add(self, a, b):
+        return a + b
+
+    def boom(self):
+        raise ValueError("server exploded")
+
+    def _secret(self):
+        return "hidden"
+
+
+class SlowService:
+    def __init__(self, env, delay):
+        self.env = env
+        self.delay = delay
+
+    def work(self, x):
+        yield self.env.timeout(self.delay)
+        return x * 2
+
+
+def setup():
+    env = Environment()
+    net = Network(env, rng=np.random.default_rng(1), latency=FixedLatency(0.001))
+    server_host = Host(net, "server")
+    client_host = Host(net, "client")
+    server = rpc_endpoint(server_host)
+    client = rpc_endpoint(client_host)
+    return env, net, server_host, client_host, server, client
+
+
+def test_simple_call():
+    env, net, sh, ch, server, client = setup()
+    ref = server.export(Calculator(), "calc")
+
+    def caller():
+        result = yield client.call(ref, "add", 2, 3)
+        return result
+
+    p = env.process(caller())
+    assert env.run(until=p) == 5
+
+
+def test_call_roundtrip_takes_two_hops():
+    env, net, sh, ch, server, client = setup()
+    ref = server.export(Calculator(), "calc")
+
+    def caller():
+        yield client.call(ref, "add", 1, 1)
+        return env.now
+
+    p = env.process(caller())
+    assert env.run(until=p) == pytest.approx(0.002)
+
+
+def test_remote_exception_wrapped():
+    env, net, sh, ch, server, client = setup()
+    ref = server.export(Calculator(), "calc")
+
+    def caller():
+        try:
+            yield client.call(ref, "boom")
+        except RemoteError as exc:
+            return type(exc.cause).__name__
+
+    p = env.process(caller())
+    assert env.run(until=p) == "ValueError"
+
+
+def test_generator_method_runs_as_process():
+    env, net, sh, ch, server, client = setup()
+    ref = server.export(SlowService(env, delay=1.0), "slow")
+
+    def caller():
+        result = yield client.call(ref, "work", 21)
+        return (result, env.now)
+
+    p = env.process(caller())
+    result, when = env.run(until=p)
+    assert result == 42
+    assert when == pytest.approx(1.002)
+
+
+def test_unknown_object_id():
+    env, net, sh, ch, server, client = setup()
+    bogus = RemoteRef(host="server", object_id="nope")
+
+    def caller():
+        try:
+            yield client.call(bogus, "add", 1, 2)
+        except NoSuchObjectError:
+            return "missing"
+
+    p = env.process(caller())
+    assert env.run(until=p) == "missing"
+
+
+def test_unknown_method():
+    env, net, sh, ch, server, client = setup()
+    ref = server.export(Calculator(), "calc")
+
+    def caller():
+        try:
+            yield client.call(ref, "divide", 1, 2)
+        except NoSuchObjectError:
+            return "no-method"
+
+    p = env.process(caller())
+    assert env.run(until=p) == "no-method"
+
+
+def test_private_method_not_invocable():
+    env, net, sh, ch, server, client = setup()
+    ref = server.export(Calculator(), "calc")
+
+    def caller():
+        try:
+            yield client.call(ref, "_secret")
+        except NoSuchObjectError:
+            return "denied"
+
+    p = env.process(caller())
+    assert env.run(until=p) == "denied"
+
+
+def test_method_allowlist_enforced():
+    env, net, sh, ch, server, client = setup()
+    ref = server.export(Calculator(), "calc", methods=["add"])
+
+    def caller():
+        try:
+            yield client.call(ref, "boom")
+        except NoSuchObjectError:
+            return "filtered"
+
+    p = env.process(caller())
+    assert env.run(until=p) == "filtered"
+
+
+def test_timeout_on_dead_server():
+    env, net, sh, ch, server, client = setup()
+    ref = server.export(Calculator(), "calc")
+    sh.fail()
+
+    def caller():
+        try:
+            yield client.call(ref, "add", 1, 2, timeout=0.5)
+        except RpcTimeout:
+            return env.now
+
+    p = env.process(caller())
+    assert env.run(until=p) == pytest.approx(0.5)
+
+
+def test_late_reply_after_timeout_is_dropped():
+    env, net, sh, ch, server, client = setup()
+    ref = server.export(SlowService(env, delay=2.0), "slow")
+
+    def caller():
+        try:
+            yield client.call(ref, "work", 1, timeout=0.5)
+        except RpcTimeout:
+            pass
+        # Keep living past the late reply to ensure it doesn't blow up.
+        yield env.timeout(5)
+        return "ok"
+
+    p = env.process(caller())
+    assert env.run(until=p) == "ok"
+
+
+def test_unexport_makes_object_unreachable():
+    env, net, sh, ch, server, client = setup()
+    ref = server.export(Calculator(), "calc")
+    server.unexport("calc")
+
+    def caller():
+        try:
+            yield client.call(ref, "add", 1, 2)
+        except NoSuchObjectError:
+            return "gone"
+
+    p = env.process(caller())
+    assert env.run(until=p) == "gone"
+
+
+def test_duplicate_export_rejected():
+    env, net, sh, ch, server, client = setup()
+    server.export(Calculator(), "calc")
+    with pytest.raises(ValueError):
+        server.export(Calculator(), "calc")
+
+
+def test_remote_ref_type_names():
+    env, net, sh, ch, server, client = setup()
+    ref = server.export(Calculator(), "calc")
+    assert ref.implements("Calculator")
+    assert not ref.implements("Other")
+
+
+def test_concurrent_calls_multiplex():
+    env, net, sh, ch, server, client = setup()
+    ref = server.export(SlowService(env, delay=1.0), "slow")
+    results = []
+
+    def caller(x):
+        r = yield client.call(ref, "work", x)
+        results.append(r)
+
+    for i in range(5):
+        env.process(caller(i))
+    env.run()
+    assert sorted(results) == [0, 2, 4, 6, 8]
+
+
+def test_nested_rpc_server_calls_another_server():
+    env = Environment()
+    net = Network(env, rng=np.random.default_rng(1), latency=FixedLatency(0.001))
+    h1, h2, h3 = Host(net, "h1"), Host(net, "h2"), Host(net, "h3")
+    e1, e2, e3 = rpc_endpoint(h1), rpc_endpoint(h2), rpc_endpoint(h3)
+    calc_ref = e3.export(Calculator(), "calc")
+
+    class Middle:
+        def relay(self, a, b):
+            result = yield e2.call(calc_ref, "add", a, b)
+            return result + 100
+
+    mid_ref = e2.export(Middle(), "mid")
+
+    def caller():
+        result = yield e1.call(mid_ref, "relay", 1, 2)
+        return result
+
+    p = env.process(caller())
+    assert env.run(until=p) == 103

@@ -1,0 +1,79 @@
+"""MTU segmentation and network taps."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.net import FixedLatency, Host, Network, Protocol
+from repro.net.message import MTU_PAYLOAD, Message
+
+
+def make_net():
+    env = Environment()
+    net = Network(env, rng=np.random.default_rng(2),
+                  latency=FixedLatency(0.001))
+    return env, net
+
+
+def finalized(payload, protocol=Protocol.TCP):
+    msg = Message(src="a", dst="b", port="p", kind="x",
+                  payload=payload, protocol=protocol)
+    msg.finalize_sizes()
+    return msg
+
+
+def test_small_payload_single_segment():
+    msg = finalized("x" * 100)
+    assert msg.segments == 1
+    assert msg.header_bytes == 52
+
+
+def test_large_payload_pays_header_per_segment():
+    msg = finalized("x" * (3 * MTU_PAYLOAD))
+    assert msg.segments >= 3
+    assert msg.header_bytes == 52 * msg.segments
+
+
+def test_segment_boundary():
+    at_boundary = finalized("x" * (MTU_PAYLOAD - 4))   # minus string framing
+    just_over = finalized("x" * (MTU_PAYLOAD + 1))
+    assert at_boundary.segments == 1
+    assert just_over.segments == 2
+
+
+def test_tap_sees_every_message():
+    env, net = make_net()
+    a, b = Host(net, "a"), Host(net, "b")
+    b.open_port("p", lambda m: None)
+    seen = []
+    net.tap(lambda msg: seen.append((msg.kind, msg.total_bytes)))
+    a.send("b", "p", kind="one", payload=1)
+    a.send("b", "p", kind="two", payload="xx")
+    env.run()
+    assert [kind for kind, _ in seen] == ["one", "two"]
+    assert all(size > 0 for _, size in seen)
+
+
+def test_tap_sees_dropped_messages_too():
+    env, net = make_net()
+    a, b = Host(net, "a"), Host(net, "b")
+    net.cut_link("a", "b")
+    seen = []
+    net.tap(lambda msg: seen.append(msg.kind))
+    a.send("b", "p", kind="doomed", payload=1)
+    env.run()
+    assert seen == ["doomed"]  # taps are wire-side, before the partition
+
+
+def test_untap_stops_observation():
+    env, net = make_net()
+    a, b = Host(net, "a"), Host(net, "b")
+    b.open_port("p", lambda m: None)
+    seen = []
+    tap = lambda msg: seen.append(msg.kind)
+    net.tap(tap)
+    a.send("b", "p", kind="first")
+    net.untap(tap)
+    a.send("b", "p", kind="second")
+    env.run()
+    assert seen == ["first"]

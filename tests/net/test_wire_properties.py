@@ -1,0 +1,54 @@
+"""Property-based tests for wire-size estimation."""
+
+from hypothesis import given, strategies as st
+
+from repro.net import Protocol, estimate_size
+from repro.net.message import MTU_PAYLOAD, Message
+
+scalars = st.one_of(st.none(), st.booleans(),
+                    st.integers(min_value=-2**31, max_value=2**31),
+                    st.floats(allow_nan=False, allow_infinity=False),
+                    st.text(max_size=20))
+payloads = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5)),
+    max_leaves=20)
+
+
+@given(payloads)
+def test_size_always_positive(payload):
+    assert estimate_size(payload) >= 1
+
+
+@given(st.lists(scalars, max_size=10), scalars)
+def test_appending_grows_lists(items, extra):
+    assert estimate_size(items + [extra]) > estimate_size(items)
+
+
+@given(st.text(max_size=200))
+def test_string_size_linear_in_bytes(text):
+    assert estimate_size(text) == 4 + len(text.encode("utf-8"))
+
+
+@given(payloads)
+def test_message_sizes_consistent(payload):
+    msg = Message(src="a", dst="b", port="p", kind="k",
+                  payload=payload, protocol=Protocol.TCP)
+    msg.finalize_sizes()
+    assert msg.payload_bytes == estimate_size(payload)
+    assert msg.header_bytes == 52 * msg.segments
+    assert msg.segments == max(1, -(-msg.payload_bytes // MTU_PAYLOAD))
+    assert msg.total_bytes == msg.payload_bytes + msg.header_bytes
+
+
+@given(st.integers(min_value=1, max_value=10))
+def test_segments_monotone_in_payload(k):
+    small = Message(src="a", dst="b", port="p", kind="k",
+                    payload="x" * (k * 500))
+    big = Message(src="a", dst="b", port="p", kind="k",
+                  payload="x" * (k * 500 + MTU_PAYLOAD))
+    small.finalize_sizes()
+    big.finalize_sizes()
+    assert big.segments == small.segments + 1

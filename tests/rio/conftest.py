@@ -1,0 +1,26 @@
+"""Fixtures for rio-layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.net import FixedLatency, Host, Network
+from repro.jini import LookupService
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def net(env):
+    return Network(env, rng=np.random.default_rng(23), latency=FixedLatency(0.001))
+
+
+@pytest.fixture
+def grid(env, net):
+    lus_host = Host(net, "lus-host")
+    lus = LookupService(lus_host)
+    lus.start()
+    return env, net, lus

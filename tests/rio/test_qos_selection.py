@@ -1,0 +1,103 @@
+"""QoS matching and selection policies (pure logic, no network)."""
+
+import numpy as np
+import pytest
+
+from repro.rio import (
+    Candidate,
+    CapacityWeightedRandom,
+    LeastLoaded,
+    QosCapability,
+    QosRequirement,
+    RandomChoice,
+    RoundRobin,
+)
+
+
+def cand(node_id, slots, used):
+    return Candidate(ref=None, node_id=node_id, compute_slots=slots, used_slots=used)
+
+
+def test_capability_validation():
+    with pytest.raises(ValueError):
+        QosCapability(compute_slots=0)
+    with pytest.raises(ValueError):
+        QosCapability(memory_mb=-1)
+
+
+def test_requirement_validation():
+    with pytest.raises(ValueError):
+        QosRequirement(load=-1)
+
+
+def test_satisfied_by_slots():
+    cap = QosCapability(compute_slots=2.0, memory_mb=512)
+    req = QosRequirement(load=1.0, memory_mb=64)
+    assert req.satisfied_by(cap)
+    assert req.satisfied_by(cap, used_slots=1.0)
+    assert not req.satisfied_by(cap, used_slots=1.5)
+
+
+def test_satisfied_by_memory():
+    cap = QosCapability(compute_slots=8, memory_mb=128)
+    req = QosRequirement(load=1, memory_mb=100)
+    assert req.satisfied_by(cap)
+    assert not req.satisfied_by(cap, used_memory_mb=64)
+
+
+def test_required_tags():
+    cap = QosCapability(tags=frozenset({"jvm", "gateway"}))
+    assert QosRequirement(required_tags=frozenset({"jvm"})).satisfied_by(cap)
+    assert not QosRequirement(required_tags=frozenset({"gpu"})).satisfied_by(cap)
+
+
+def test_round_robin_cycles():
+    policy = RoundRobin()
+    candidates = [cand("a", 4, 0), cand("b", 4, 0), cand("c", 4, 0)]
+    picks = [policy.choose(candidates).node_id for _ in range(6)]
+    assert picks == ["a", "b", "c", "a", "b", "c"]
+
+
+def test_round_robin_empty():
+    assert RoundRobin().choose([]) is None
+
+
+def test_least_loaded_picks_lowest_utilization():
+    policy = LeastLoaded()
+    candidates = [cand("a", 4, 3), cand("b", 4, 1), cand("c", 8, 4)]
+    assert policy.choose(candidates).node_id == "b"
+
+
+def test_least_loaded_tie_breaks_by_id():
+    policy = LeastLoaded()
+    candidates = [cand("b", 4, 2), cand("a", 4, 2)]
+    assert policy.choose(candidates).node_id == "a"
+
+
+def test_capacity_weighted_prefers_free_nodes():
+    rng = np.random.default_rng(0)
+    policy = CapacityWeightedRandom(rng)
+    candidates = [cand("big", 100, 0), cand("tiny", 1, 0.9)]
+    picks = [policy.choose(candidates).node_id for _ in range(200)]
+    assert picks.count("big") > 190
+
+
+def test_capacity_weighted_all_full_falls_back():
+    rng = np.random.default_rng(0)
+    policy = CapacityWeightedRandom(rng)
+    candidates = [cand("a", 2, 2), cand("b", 2, 2)]
+    assert policy.choose(candidates) is not None
+
+
+def test_random_choice_uniformish():
+    rng = np.random.default_rng(0)
+    policy = RandomChoice(rng)
+    candidates = [cand("a", 4, 0), cand("b", 4, 0)]
+    picks = [policy.choose(candidates).node_id for _ in range(400)]
+    assert 120 < picks.count("a") < 280
+
+
+def test_candidate_properties():
+    c = cand("x", 4, 1)
+    assert c.free_slots == 3
+    assert c.utilization == 0.25

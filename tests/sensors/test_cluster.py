@@ -1,0 +1,131 @@
+"""Sensor clusters: collaborating motes behind one probe interface."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.net import FixedLatency, Host, Network
+from repro.sensors import (
+    FaultInjector,
+    FaultMode,
+    HumidityProbe,
+    PhysicalEnvironment,
+    ProbeError,
+    SensorCluster,
+    TemperatureProbe,
+)
+
+
+@pytest.fixture
+def sim_env():
+    return Environment()
+
+
+@pytest.fixture
+def world():
+    return PhysicalEnvironment(seed=12)
+
+
+def members(sim_env, world, n=3, injectors=None):
+    out = []
+    for i in range(n):
+        out.append(TemperatureProbe(
+            sim_env, f"m{i}", world, (i * 5.0, 0.0),
+            rng=np.random.default_rng(i), sensing_noise=0.0,
+            fault_injector=(injectors or {}).get(i)))
+    return out
+
+
+def read(sim_env, cluster):
+    return sim_env.run(until=sim_env.process(cluster.read()))
+
+
+def test_cluster_validation(sim_env, world):
+    with pytest.raises(ValueError):
+        SensorCluster(sim_env, "c", [])
+    temp = TemperatureProbe(sim_env, "t", world, (0, 0))
+    hum = HumidityProbe(sim_env, "h", world, (0, 0))
+    with pytest.raises(ValueError):
+        SensorCluster(sim_env, "c", [temp, hum])
+    with pytest.raises(ValueError):
+        SensorCluster(sim_env, "c", [temp], min_members=2)
+
+
+def test_cluster_mean_of_members(sim_env, world):
+    probes = members(sim_env, world)
+    cluster = SensorCluster(sim_env, "c1", probes)
+    cluster.connect()
+    reading = read(sim_env, cluster)
+    truth = world.mean_over("temperature",
+                            [(0, 0), (5, 0), (10, 0)], reading.timestamp)
+    assert abs(reading.value - truth) < 1.0
+    assert reading.quality == "good"
+    assert reading.unit == "celsius"
+
+
+def test_cluster_reads_members_concurrently(sim_env, world):
+    probes = members(sim_env, world, n=4)
+    for probe in probes:
+        probe.read_latency = 1.0
+    cluster = SensorCluster(sim_env, "c1", probes)
+    cluster.connect()
+    reading = read(sim_env, cluster)
+    assert reading.timestamp == pytest.approx(1.0)  # not 4.0
+
+
+def test_cluster_tolerates_member_dropout(sim_env, world):
+    injector = FaultInjector(np.random.default_rng(0))
+    injector.schedule(FaultMode.DROPOUT, start=0.0, end=1e9)
+    probes = members(sim_env, world, injectors={1: injector})
+    cluster = SensorCluster(sim_env, "c1", probes)
+    cluster.connect()
+    reading = read(sim_env, cluster)
+    assert reading.quality == "suspect"
+    assert cluster.member_failures == 1
+    truth = world.mean_over("temperature", [(0, 0), (10, 0)],
+                            reading.timestamp)
+    assert abs(reading.value - truth) < 1.0
+
+
+def test_cluster_min_members_enforced(sim_env, world):
+    injectors = {}
+    for i in (0, 1):
+        inj = FaultInjector(np.random.default_rng(i))
+        inj.schedule(FaultMode.DROPOUT, start=0.0, end=1e9)
+        injectors[i] = inj
+    probes = members(sim_env, world, injectors=injectors)
+    cluster = SensorCluster(sim_env, "c1", probes, min_members=2)
+    cluster.connect()
+    with pytest.raises(ProbeError):
+        read(sim_env, cluster)
+
+
+def test_cluster_custom_reducer(sim_env, world):
+    probes = members(sim_env, world)
+    cluster = SensorCluster(sim_env, "c1", probes,
+                            reducer=lambda v: float(np.max(v)))
+    cluster.connect()
+    reading = read(sim_env, cluster)
+    singles = [world.sample("temperature", (i * 5.0, 0.0), reading.timestamp)
+               for i in range(3)]
+    assert reading.value == pytest.approx(max(singles), abs=0.5)
+
+
+def test_cluster_behind_esp(sim_env, world):
+    """A cluster plugs into an ESP exactly like a single probe (§V.B)."""
+    from repro.jini import LookupService
+    from repro.core import ElementarySensorProvider, SENSOR_DATA_ACCESSOR
+    from repro.jini import ServiceTemplate
+    net = Network(sim_env, rng=np.random.default_rng(3),
+                  latency=FixedLatency(0.001))
+    lus = LookupService(Host(net, "lus-host"))
+    lus.start()
+    probes = members(sim_env, world)
+    cluster = SensorCluster(sim_env, "cluster-1", probes)
+    esp = ElementarySensorProvider(Host(net, "esp-host"), "Cluster-Sensor",
+                                   cluster, sample_interval=1.0)
+    esp.start()
+    sim_env.run(until=10.0)
+    assert len(lus.lookup(ServiceTemplate.by_name("Cluster-Sensor"), 5)) == 1
+    assert len(esp.buffer) >= 8
+    assert esp.buffer.last().sensor_id == "cluster-1"

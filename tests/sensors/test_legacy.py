@@ -1,0 +1,128 @@
+"""Legacy binary-protocol wrapping (§II.3): probe speaks, ESP is oblivious."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.net import FixedLatency, Host, Network
+from repro.jini import LookupService, SensorType, ServiceTemplate
+from repro.sensors import (
+    LegacyFieldStation,
+    LegacyProtocolProbe,
+    PhysicalEnvironment,
+    ProbeError,
+)
+from repro.core import ElementarySensorProvider, SENSOR_DATA_ACCESSOR
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    net = Network(env, rng=np.random.default_rng(83),
+                  latency=FixedLatency(0.001))
+    world = PhysicalEnvironment(seed=83)
+    station_host = Host(net, "station")
+    station = LegacyFieldStation(station_host, world, (7.0, 3.0),
+                                 ident="FS-90/42")
+    gateway = Host(net, "gateway")
+    return env, net, world, station, gateway
+
+
+def read(env, probe):
+    return env.run(until=env.process(probe.read()))
+
+
+def test_read_temperature_register(setup):
+    env, net, world, station, gateway = setup
+    probe = LegacyProtocolProbe(env, "legacy-1", gateway, "station")
+    probe.connect()
+    reading = read(env, probe)
+    truth = world.sample("temperature", (7.0, 3.0), 0.0)
+    # Protocol scales by 100 -> two decimal places survive the wire.
+    assert abs(reading.value - truth) < 0.02
+    assert reading.unit == "celsius"
+    assert station.commands_served == 1
+
+
+def test_other_registers(setup):
+    env, net, world, station, gateway = setup
+    humidity = LegacyProtocolProbe(env, "legacy-h", gateway, "station",
+                                   register=0x02)
+    pressure = LegacyProtocolProbe(env, "legacy-p", gateway, "station",
+                                   register=0x03)
+    humidity.connect()
+    pressure.connect()
+    rh = read(env, humidity)
+    rp = read(env, pressure)
+    assert rh.unit == "percent"
+    assert rp.unit == "hpa"
+    assert abs(rh.value - world.sample("humidity", (7, 3), rh.timestamp)) < 0.02
+    assert abs(rp.value - world.sample("pressure", (7, 3), rp.timestamp)) < 0.02
+
+
+def test_unknown_register_rejected(setup):
+    env, net, world, station, gateway = setup
+    with pytest.raises(ValueError):
+        LegacyProtocolProbe(env, "bad", gateway, "station", register=0x99)
+
+
+def test_ident_command(setup):
+    env, net, world, station, gateway = setup
+    probe = LegacyProtocolProbe(env, "legacy-1", gateway, "station")
+    ident = env.run(until=env.process(probe.identify()))
+    assert ident == "FS-90/42"
+
+
+def test_dead_station_times_out(setup):
+    env, net, world, station, gateway = setup
+    probe = LegacyProtocolProbe(env, "legacy-1", gateway, "station",
+                                reply_timeout=0.5)
+    probe.connect()
+    station.host.fail()
+
+    def proc():
+        try:
+            yield from probe.read()
+        except ProbeError:
+            return env.now
+
+    when = env.run(until=env.process(proc()))
+    assert when == pytest.approx(0.5)
+
+
+def test_two_probes_share_one_gateway(setup):
+    env, net, world, station, gateway = setup
+    p1 = LegacyProtocolProbe(env, "legacy-t", gateway, "station",
+                             register=0x01)
+    p2 = LegacyProtocolProbe(env, "legacy-h", gateway, "station",
+                             register=0x02)
+    p1.connect()
+    p2.connect()
+
+    def proc():
+        procs = [env.process(p1.read()), env.process(p2.read())]
+        results = yield env.all_of(procs)
+        return results
+
+    r1, r2 = env.run(until=env.process(proc()))
+    assert r1.unit == "celsius" and r2.unit == "percent"
+
+
+def test_legacy_probe_behind_unmodified_esp(setup):
+    """The §II.3 punchline: the ESP needs zero changes for legacy gear."""
+    env, net, world, station, gateway = setup
+    lus = LookupService(Host(net, "lus-host"))
+    lus.start()
+    probe = LegacyProtocolProbe(env, "legacy-1", gateway, "station")
+    esp = ElementarySensorProvider(gateway, "Legacy-Station", probe,
+                                   sample_interval=1.0,
+                                   technology="fs90-serial")
+    esp.start()
+    env.run(until=10.0)
+    items = lus.lookup(ServiceTemplate(attributes=(
+        SensorType(technology="fs90-serial"),)), 5)
+    assert len(items) == 1
+    assert len(esp.buffer) >= 8
+    last = esp.buffer.last()
+    assert abs(last.value - world.sample("temperature", (7, 3),
+                                         last.timestamp)) < 0.5

@@ -1,0 +1,253 @@
+"""Probe drivers, calibration, TEDS, faults, Sun SPOT device."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.sensors import (
+    BatteryExhausted,
+    Calibration,
+    CalibrationTable,
+    FaultInjector,
+    FaultMode,
+    HumidityProbe,
+    LightProbe,
+    PhysicalEnvironment,
+    PressureProbe,
+    ProbeError,
+    ProbeNotConnected,
+    SunSpotDevice,
+    SunSpotTemperatureProbe,
+    TemperatureProbe,
+    TransducerTEDS,
+)
+
+
+@pytest.fixture
+def sim_env():
+    return Environment()
+
+
+@pytest.fixture
+def world():
+    return PhysicalEnvironment(seed=5)
+
+
+def read_once(sim_env, probe):
+    p = sim_env.process(probe.read())
+    return sim_env.run(until=p)
+
+
+def test_read_requires_connect(sim_env, world):
+    probe = TemperatureProbe(sim_env, "t1", world, (0, 0))
+    with pytest.raises(ProbeNotConnected):
+        # read() raises before the first yield, at generator creation time
+        # via next(); drive it through the kernel.
+        sim_env.run(until=sim_env.process(probe.read()))
+
+
+def test_temperature_read_close_to_ground_truth(sim_env, world):
+    probe = TemperatureProbe(sim_env, "t1", world, (2.0, 3.0),
+                             rng=np.random.default_rng(1))
+    probe.connect()
+    reading = read_once(sim_env, probe)
+    truth = world.sample("temperature", (2.0, 3.0), reading.timestamp)
+    assert abs(reading.value - truth) < 1.0
+    assert reading.unit == "celsius"
+    assert reading.quality == "good"
+    assert reading.sensor_id == "t1"
+
+
+def test_read_takes_latency(sim_env, world):
+    probe = TemperatureProbe(sim_env, "t1", world, (0, 0), read_latency=0.5)
+    probe.connect()
+    reading = read_once(sim_env, probe)
+    assert reading.timestamp == pytest.approx(0.5)
+
+
+def test_quantization_to_resolution(sim_env, world):
+    probe = TemperatureProbe(sim_env, "t1", world, (0, 0),
+                             rng=np.random.default_rng(2))
+    probe.connect()
+    reading = read_once(sim_env, probe)
+    steps = reading.value / 0.0625
+    assert steps == pytest.approx(round(steps))
+
+
+def test_out_of_range_clamped(sim_env, world):
+    # Gain of 100 pushes everything far beyond the 85C limit.
+    probe = TemperatureProbe(sim_env, "t1", world, (0, 0),
+                             calibration=Calibration(gain=100.0))
+    probe.connect()
+    reading = read_once(sim_env, probe)
+    assert reading.value == 85.0
+    assert reading.quality == "clamped"
+
+
+def test_all_driver_quantities(sim_env, world):
+    probes = [
+        TemperatureProbe(sim_env, "t", world, (0, 0)),
+        HumidityProbe(sim_env, "h", world, (0, 0)),
+        LightProbe(sim_env, "l", world, (0, 0)),
+        PressureProbe(sim_env, "p", world, (0, 0)),
+    ]
+    for probe in probes:
+        probe.connect()
+        reading = read_once(sim_env, probe)
+        assert probe.teds.in_range(reading.value)
+    units = [p.teds.unit for p in probes]
+    assert units == ["celsius", "percent", "lux", "hpa"]
+
+
+def test_affine_calibration():
+    cal = Calibration(gain=2.0, offset=1.0)
+    assert cal.apply(10.0) == 21.0
+    assert cal.invert(21.0) == 10.0
+    with pytest.raises(ValueError):
+        Calibration(gain=0.0)
+
+
+def test_calibration_table_interpolates():
+    table = CalibrationTable([(0, 0), (10, 20), (20, 30)])
+    assert table.apply(5) == 10.0
+    assert table.apply(15) == 25.0
+    # Extrapolation continues the end segments.
+    assert table.apply(-5) == -10.0
+    assert table.apply(25) == 35.0
+
+
+def test_calibration_table_validation():
+    with pytest.raises(ValueError):
+        CalibrationTable([(0, 0)])
+    with pytest.raises(ValueError):
+        CalibrationTable([(1, 0), (0, 1)])
+    with pytest.raises(ValueError):
+        CalibrationTable([(0, 0), (0, 1)])
+
+
+def test_teds_validation():
+    with pytest.raises(ValueError):
+        TransducerTEDS("m", "m", "s", "v", "q", "u", 10.0, 5.0, 0.1, 0.1)
+    with pytest.raises(ValueError):
+        TransducerTEDS("m", "m", "s", "v", "q", "u", 0.0, 5.0, -0.1, 0.1)
+
+
+def test_fault_dropout_window(sim_env, world):
+    injector = FaultInjector(np.random.default_rng(0))
+    injector.schedule(FaultMode.DROPOUT, start=0.0, end=10.0)
+    probe = TemperatureProbe(sim_env, "t1", world, (0, 0),
+                             fault_injector=injector)
+    probe.connect()
+
+    def proc():
+        try:
+            yield from probe.read()
+        except ProbeError:
+            pass
+        yield sim_env.timeout(15.0)  # window over
+        reading = yield from probe.read()
+        return reading
+
+    reading = sim_env.run(until=sim_env.process(proc()))
+    assert reading is not None
+    assert probe.read_errors == 1
+
+
+def test_fault_stuck_repeats_last_value(sim_env, world):
+    injector = FaultInjector(np.random.default_rng(0))
+    injector.schedule(FaultMode.STUCK, start=5.0, end=100.0)
+    probe = TemperatureProbe(sim_env, "t1", world, (0, 0),
+                             rng=np.random.default_rng(3),
+                             fault_injector=injector)
+    probe.connect()
+
+    def proc():
+        first = yield from probe.read()        # t<5: healthy
+        yield sim_env.timeout(30.0)
+        second = yield from probe.read()       # stuck window
+        yield sim_env.timeout(30.0)
+        third = yield from probe.read()        # still stuck
+        return first, second, third
+
+    first, second, third = sim_env.run(until=sim_env.process(proc()))
+    assert second.value == first.value
+    assert third.value == first.value
+
+
+def test_fault_noisy_increases_spread(sim_env, world):
+    calm_env = PhysicalEnvironment(seed=5, fields={
+        "temperature": PhysicalEnvironment.DEFAULT_FIELDS["temperature"]})
+    injector = FaultInjector(np.random.default_rng(0), noisy_sigma=50.0)
+    injector.schedule(FaultMode.NOISY, start=0.0, end=1e9)
+    noisy = TemperatureProbe(sim_env, "noisy", calm_env, (0, 0),
+                             rng=np.random.default_rng(4),
+                             fault_injector=injector)
+    clean = TemperatureProbe(sim_env, "clean", calm_env, (0, 0),
+                             rng=np.random.default_rng(4))
+    noisy.connect()
+    clean.connect()
+
+    def collect(probe, out):
+        for _ in range(30):
+            reading = yield from probe.read()
+            out.append(reading.value)
+            yield sim_env.timeout(10.0)
+
+    noisy_vals, clean_vals = [], []
+    sim_env.process(collect(noisy, noisy_vals))
+    sim_env.process(collect(clean, clean_vals))
+    sim_env.run()
+    assert np.std(noisy_vals) > 3 * np.std(clean_vals)
+
+
+def test_fault_hazard_rates_seeded():
+    injector = FaultInjector(np.random.default_rng(9), dropout_rate=0.5,
+                             hold=1.0)
+    modes = [injector.mode_at(float(t * 10)) for t in range(50)]
+    assert FaultMode.DROPOUT in modes
+    assert FaultMode.OK in modes
+
+
+def test_sunspot_reads_and_drains_battery(sim_env, world):
+    device = SunSpotDevice(sim_env, "neem", battery_mah=720.0)
+    probe = SunSpotTemperatureProbe(sim_env, device, world, (1, 1),
+                                    rng=np.random.default_rng(5))
+    probe.connect()
+    before = device.battery_fraction
+    reading = read_once(sim_env, probe)
+    assert device.battery_fraction < before
+    assert device.total_reads == 1
+    truth = world.sample("temperature", (1, 1), reading.timestamp)
+    assert abs(reading.value - truth) < 1.5  # self-heating + noise
+
+
+def test_sunspot_battery_exhaustion(sim_env, world):
+    device = SunSpotDevice(sim_env, "tiny", battery_mah=0.01,
+                           read_cost_mah=0.005, radio_cost_mah=0.0)
+    probe = SunSpotTemperatureProbe(sim_env, device, world, (0, 0))
+    probe.connect()
+
+    def proc():
+        ok = 0
+        try:
+            for _ in range(10):
+                yield from probe.read()
+                ok += 1
+        except BatteryExhausted:
+            return ok
+        return ok
+
+    ok = sim_env.run(until=sim_env.process(proc()))
+    assert ok == 2
+    device.recharge()
+    assert device.battery_fraction == 1.0
+
+
+def test_sunspot_idle_drain(sim_env):
+    device = SunSpotDevice(sim_env, "idle", battery_mah=1.0, idle_drain_ma=1.0)
+
+    def proc():
+        yield sim_env.timeout(1800.0)  # half an hour -> 0.5 mAh gone
+
+    sim_env.run(until=sim_env.process(proc()))
+    assert device.battery_fraction == pytest.approx(0.5)

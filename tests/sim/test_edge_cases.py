@@ -1,0 +1,175 @@
+"""Kernel edge cases: conditions with failures, interrupts during waits,
+process identity semantics."""
+
+import pytest
+
+from repro.sim import AnyOf, Environment, Event, Interrupt, SimulationError
+
+
+def test_any_of_failure_propagates():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield env.any_of([env.process(bad()), env.timeout(100)])
+        except ValueError:
+            return "caught"
+
+    p = env.process(parent())
+    assert env.run(until=p) == "caught"
+
+
+def test_any_of_with_already_triggered_event():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("ready")
+
+    def parent():
+        yield env.timeout(1)  # let ev become processed
+        result = yield env.any_of([ev, env.timeout(100)])
+        return (result, env.now)
+
+    p = env.process(parent())
+    result, when = env.run(until=p)
+    assert when == 1
+
+
+def test_all_of_with_mixed_processed_and_pending():
+    env = Environment()
+    early = env.timeout(0)
+
+    def parent():
+        yield env.timeout(1)
+        yield env.all_of([early, env.timeout(2)])
+        return env.now
+
+    p = env.process(parent())
+    assert env.run(until=p) == 3
+
+
+def test_interrupt_while_waiting_on_process():
+    env = Environment()
+
+    def slow():
+        yield env.timeout(100)
+        return "slow-done"
+
+    slow_proc = None
+
+    def waiter():
+        try:
+            yield slow_proc
+        except Interrupt:
+            return ("interrupted", env.now)
+
+    slow_proc = env.process(slow())
+    p = env.process(waiter())
+
+    def interrupter():
+        yield env.timeout(5)
+        p.interrupt()
+
+    env.process(interrupter())
+    assert env.run(until=p) == ("interrupted", 5)
+    # The slow process keeps running unaffected.
+    assert env.run(until=slow_proc) == "slow-done"
+
+
+def test_double_interrupt_second_wait():
+    env = Environment()
+    hits = []
+
+    def stubborn():
+        for _ in range(2):
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                hits.append((i.cause, env.now))
+        return "survived"
+
+    p = env.process(stubborn())
+
+    def interrupter():
+        yield env.timeout(1)
+        p.interrupt("one")
+        yield env.timeout(1)
+        p.interrupt("two")
+
+    env.process(interrupter())
+    assert env.run(until=p) == "survived"
+    assert hits == [("one", 1), ("two", 2)]
+
+
+def test_unobserved_failure_raises_at_trigger_time():
+    """A failure nobody is waiting on surfaces immediately from run() —
+    errors are never silently swallowed (a late observer is too late)."""
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise KeyError("lost")
+
+    bad_proc = env.process(bad())
+
+    def late_observer():
+        yield env.timeout(10)
+        yield bad_proc
+
+    env.process(late_observer())
+    with pytest.raises(KeyError):
+        env.run()
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.event().fail("not an exception")
+
+
+def test_run_until_failed_event_raises():
+    env = Environment()
+    ev = env.event()
+
+    def trigger():
+        yield env.timeout(1)
+        ev.fail(RuntimeError("bad end"))
+
+    env.process(trigger())
+    with pytest.raises(RuntimeError, match="bad end"):
+        env.run(until=ev)
+
+
+def test_simultaneous_events_processed_in_creation_order():
+    env = Environment()
+    order = []
+
+    def make(tag):
+        def proc():
+            yield env.timeout(5)
+            order.append(tag)
+        return proc
+
+    for tag in range(10):
+        env.process(make(tag)())
+    env.run()
+    assert order == list(range(10))
+
+
+def test_zero_delay_timeout_still_asynchronous():
+    env = Environment()
+    order = []
+
+    def proc():
+        order.append("before")
+        yield env.timeout(0)
+        order.append("after")
+
+    env.process(proc())
+    order.append("scheduled")
+    env.run()
+    # The process body doesn't start until the simulation runs.
+    assert order == ["scheduled", "before", "after"]

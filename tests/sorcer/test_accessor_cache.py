@@ -1,0 +1,116 @@
+"""ServiceAccessor lookup caching."""
+
+import pytest
+
+from repro.net import Host
+from repro.sorcer import (
+    Exerter,
+    ServiceAccessor,
+    ServiceContext,
+    Signature,
+    Task,
+    Tasker,
+)
+
+
+class PingProvider(Tasker):
+    SERVICE_TYPES = ("Ping",)
+
+    def __init__(self, host, name="Ping", **kw):
+        super().__init__(host, name, **kw)
+        self.add_operation("ping", lambda ctx: "pong")
+
+
+def ping_task():
+    task = Task("p", Signature("Ping", "ping"), ServiceContext())
+    task.control.invocation_timeout = 5.0
+    return task
+
+
+def run_queries(env, net, exerter, count):
+    def proc():
+        ok = 0
+        for _ in range(count):
+            result = yield env.process(exerter.exert(ping_task()))
+            ok += 1 if result.is_done else 0
+        return ok
+
+    return env.run(until=env.process(proc()))
+
+
+def test_cache_skips_lus_lookups(grid):
+    env, net, lus = grid
+    PingProvider(Host(net, "p-host")).start()
+    env.run(until=3.0)
+    client = Host(net, "client")
+    accessor = ServiceAccessor(client, cache_ttl=30.0)
+    exerter = Exerter(client, accessor=accessor)
+    base = net.stats.by_kind["lus-lookup"]["messages"]
+    assert run_queries(env, net, exerter, 10) == 10
+    lookups = net.stats.by_kind["lus-lookup"]["messages"] - base
+    assert lookups == 1  # one lookup request, then 9 cache hits
+    assert accessor.cache_hits == 9
+    assert accessor.cache_misses == 1
+
+
+def test_no_cache_by_default(grid):
+    env, net, lus = grid
+    PingProvider(Host(net, "p-host")).start()
+    env.run(until=3.0)
+    client = Host(net, "client")
+    exerter = Exerter(client)
+    base = net.stats.by_kind["lus-lookup"]["messages"]
+    assert run_queries(env, net, exerter, 10) == 10
+    lookups = net.stats.by_kind["lus-lookup"]["messages"] - base
+    assert lookups == 10  # every exert pays a lookup
+
+
+def test_cache_expires(grid):
+    env, net, lus = grid
+    PingProvider(Host(net, "p-host")).start()
+    env.run(until=3.0)
+    client = Host(net, "client")
+    accessor = ServiceAccessor(client, cache_ttl=2.0)
+    exerter = Exerter(client, accessor=accessor)
+
+    def proc():
+        yield env.process(exerter.exert(ping_task()))
+        yield env.timeout(5.0)  # past the TTL
+        yield env.process(exerter.exert(ping_task()))
+
+    env.run(until=env.process(proc()))
+    assert accessor.cache_misses == 2
+
+
+def test_stale_cache_tolerated_by_failover(grid):
+    """A cached proxy to a dead provider: the exerter retries alternates,
+    so the query still succeeds while the cache is stale."""
+    env, net, lus = grid
+    p1 = PingProvider(Host(net, "p-1"), "Ping-1")
+    p1.start()
+    p2 = PingProvider(Host(net, "p-2"), "Ping-2")
+    p2.start()
+    env.run(until=3.0)
+    client = Host(net, "client")
+    accessor = ServiceAccessor(client, cache_ttl=60.0)
+    exerter = Exerter(client, accessor=accessor)
+    assert run_queries(env, net, exerter, 1) == 1  # fill the cache
+    p1.host.fail()
+    task = ping_task()
+    task.control.invocation_timeout = 0.5
+    ok = run_queries(env, net, exerter, 4)
+    assert ok == 4  # every query lands on the survivor eventually
+
+
+def test_invalidate_clears(grid):
+    env, net, lus = grid
+    PingProvider(Host(net, "p-host")).start()
+    env.run(until=3.0)
+    client = Host(net, "client")
+    accessor = ServiceAccessor(client, cache_ttl=60.0)
+    exerter = Exerter(client, accessor=accessor)
+    run_queries(env, net, exerter, 2)
+    assert accessor.cache_hits == 1
+    accessor.invalidate()
+    run_queries(env, net, exerter, 1)
+    assert accessor.cache_misses == 2

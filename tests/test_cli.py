@@ -1,0 +1,101 @@
+"""CLI smoke + behaviour tests."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_inventory_lists_fig2_services():
+    code, output = run_cli("inventory")
+    assert code == 0
+    for name in ("Neem-Sensor", "Composite-Service", "SenSORCER Facade",
+                 "Monitor", "Transaction Manager"):
+        assert name in output
+
+
+def test_value_reads_sensor():
+    code, output = run_cli("value", "Jade-Sensor")
+    assert code == 0
+    assert output.startswith("Jade-Sensor: ")
+    float(output.split(": ")[1])  # parses as a number
+
+
+def test_value_unknown_sensor_errors():
+    code, output = run_cli("value", "Ghost")
+    assert code == 1
+    assert "error" in output
+
+
+def test_experiment_prints_info_pane_and_value():
+    code, output = run_cli("experiment")
+    assert code == 0
+    assert "New-Composite" in output
+    assert "(a + b)/2" in output
+    assert "value:" in output
+
+
+def test_topology_prints_tree():
+    code, output = run_cli("topology")
+    assert code == 0
+    assert "New-Composite" in output
+    assert "Composite-Service" in output
+    assert "- Neem-Sensor" in output
+
+
+def test_farm_command():
+    code, output = run_cli("--seed", "5", "farm", "--fields", "2",
+                           "--sensors", "2")
+    assert code == 0
+    assert "Field-0" in output
+    assert "Field-1" in output
+    assert "ground truth" in output
+
+
+def test_seed_changes_values():
+    _, out_a = run_cli("--seed", "1", "value", "Neem-Sensor")
+    _, out_a2 = run_cli("--seed", "1", "value", "Neem-Sensor")
+    assert out_a == out_a2  # deterministic
+    # Seed-sensitive: readings quantize to 0.25 C steps, so any one pair of
+    # seeds may collide — but across several seeds values must vary.
+    outputs = {run_cli("--seed", str(s), "value", "Neem-Sensor")[1]
+               for s in (1, 2, 3, 4)}
+    assert len(outputs) >= 2
+
+
+def test_traffic_command():
+    code, output = run_cli("traffic")
+    assert code == 0
+    assert "TOTAL" in output
+    assert "exertion" in output
+    assert "discovery-probe" in output
+
+
+def test_watch_command():
+    code, output = run_cli("watch", "Neem-Sensor", "Jade-Sensor",
+                           "--interval", "2", "--rounds", "3")
+    assert code == 0
+    assert "Watch" in output
+    assert "Neem-Sensor" in output and "Jade-Sensor" in output
+    # Three sample rows beneath the two header lines + column row.
+    assert len(output.strip().splitlines()) == 6
+
+
+def test_admin_command():
+    code, output = run_cli("admin")
+    assert code == 0
+    assert "registrar" in output
+    assert "lease" in output
+    assert "Transaction Manager" in output
