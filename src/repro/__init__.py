@@ -12,6 +12,8 @@ Layers (bottom up):
   exertion space;
 * :mod:`repro.expr` — the compute-expression language (Groovy substitute);
 * :mod:`repro.sensors` — environment model, probes, Sun SPOT, faults;
+* :mod:`repro.resilience` — retry/backoff policies, deadlines, circuit
+  breakers and the resilience event stream;
 * :mod:`repro.core` — SenSORCER proper: ESP, CSP, façade, browser,
   network manager, provisioner;
 * :mod:`repro.baselines` — direct-IP collection and TCI/SSP/ASP;
@@ -44,6 +46,7 @@ from . import (  # noqa: F401 - re-exported subpackages
     jini,
     metrics,
     net,
+    resilience,
     rio,
     scenarios,
     sensors,
@@ -59,6 +62,7 @@ __all__ = [
     "jini",
     "metrics",
     "net",
+    "resilience",
     "rio",
     "scenarios",
     "sensors",

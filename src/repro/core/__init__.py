@@ -8,7 +8,7 @@ Rio.
 """
 
 from .browser import BrowserError, SensorBrowser
-from .csp import CompositeSensorProvider, CompositionError
+from .csp import STALE_PATH, CompositeSensorProvider, CompositionError
 from .esp import ElementarySensorProvider
 from .events import SensorReadingEvent, Subscription
 from .facade import FacadeError, SensorcerFacade
@@ -65,6 +65,7 @@ __all__ = [
     "OP_SET_EXPRESSION",
     "ProvisionError",
     "SENSOR_DATA_ACCESSOR",
+    "STALE_PATH",
     "SensorBrowser",
     "SensorNetworkManager",
     "SensorReadingEvent",

@@ -24,6 +24,7 @@ from typing import Optional
 from ..expr import Expression, ExprError
 from ..jini.entries import SensorType
 from ..net.host import Host
+from ..resilience import DEADLINE_PATH, Deadline, resilience_events
 from ..sensors.probe import Reading
 from ..sorcer.context import ServiceContext
 from ..sorcer.exerter import Exerter
@@ -46,9 +47,11 @@ from .interfaces import (
 )
 from .variables import variable_name
 
-__all__ = ["CompositeSensorProvider", "CompositionError"]
+__all__ = ["CompositeSensorProvider", "CompositionError", "STALE_PATH"]
 
 VISITED_PATH = "composite/visited"
+#: Result-context path listing stale substitutions made for this query.
+STALE_PATH = "composite/stale"
 
 
 class CompositionError(Exception):
@@ -75,6 +78,7 @@ class CompositeSensorProvider(ServiceProvider):
                  child_wait: float = 5.0,
                  child_timeout: float = 10.0,
                  fault_policy: str = "strict",
+                 stale_max_age: float = 30.0,
                  attributes: tuple = (),
                  **kwargs):
         """``child_timeout`` bounds each child invocation (sensor reads are
@@ -86,9 +90,14 @@ class CompositeSensorProvider(ServiceProvider):
         * ``"strict"`` (default) — any unreachable child fails the query;
         * ``"skip"`` — aggregate over the children that answered. Only
           valid while no expression is attached (an expression names its
-          variables, so a missing child would silently shift bindings).
+          variables, so a missing child would silently shift bindings);
+        * ``"degraded"`` — substitute a child's last known good value when
+          it is unreachable (open-circuit or timed out), provided the value
+          is younger than ``stale_max_age``. Variable bindings are
+          preserved, so this is legal even with an expression attached;
+          substitutions are flagged in the returned context/``Reading``.
         """
-        if fault_policy not in ("strict", "skip"):
+        if fault_policy not in ("strict", "skip", "degraded"):
             raise ValueError(f"unknown fault_policy {fault_policy!r}")
         composite_attrs = (SensorType(service_kind=KIND_COMPOSITE),)
         super().__init__(host, name,
@@ -98,10 +107,16 @@ class CompositeSensorProvider(ServiceProvider):
         self.child_wait = child_wait
         self.child_timeout = child_timeout
         self.fault_policy = fault_policy
+        self.stale_max_age = stale_max_age
         self.children: list[_Child] = []
         self.expression: Optional[Expression] = None
         self.exerter = Exerter(host)
+        self.events = resilience_events(host.network)
         self.last_value: Optional[float] = None
+        #: Degraded-mode cache: child service_id -> (timestamp, value).
+        self.last_known_good: dict[str, tuple[float, float]] = {}
+        #: How many stale values this provider has served (observability).
+        self.stale_substitutions = 0
         self.add_operation(OP_GET_VALUE, self._op_get_value)
         self.add_operation(OP_GET_READING, self._op_get_reading)
         self.add_operation(OP_GET_INFO, self._op_get_info)
@@ -142,8 +157,8 @@ class CompositeSensorProvider(ServiceProvider):
             return
         if self.fault_policy == "skip":
             raise CompositionError(
-                "expressions require fault_policy='strict': a skipped child "
-                "would silently re-map the remaining variables")
+                "expressions require fault_policy='strict' or 'degraded': a "
+                "skipped child would silently re-map the remaining variables")
         try:
             expression = Expression(text)
         except ExprError as exc:
@@ -164,7 +179,8 @@ class CompositeSensorProvider(ServiceProvider):
 
     # -- value aggregation ----------------------------------------------------------
 
-    def _child_task(self, child: _Child, visited: list) -> Task:
+    def _child_task(self, child: _Child, visited: list,
+                    deadline: Optional[Deadline]) -> Task:
         ctx = ServiceContext(f"{self.name}->{child.display_name}")
         ctx.put_value(VISITED_PATH, list(visited))
         task = Task(f"collect-{child.display_name}",
@@ -172,13 +188,24 @@ class CompositeSensorProvider(ServiceProvider):
                               service_id=child.service_id), ctx)
         task.control.provider_wait = self.child_wait
         task.control.invocation_timeout = self.child_timeout
+        if deadline is not None:
+            # Nested calls inherit the caller's remaining budget instead of
+            # compounding their own waits on top of it.
+            task.control.deadline = deadline
+            now = self.env.now
+            task.control.provider_wait = deadline.clamp(self.child_wait, now)
+            task.control.invocation_timeout = deadline.clamp(
+                self.child_timeout, now)
         return task
 
-    def _collect(self, visited: list):
-        """Collect child values; returns {variable: value}. Generator."""
+    def _collect(self, visited: list, deadline: Optional[Deadline] = None):
+        """Collect child values; returns ({variable: value}, stale-notes).
+        Generator. Under ``fault_policy="degraded"`` an unreachable child's
+        binding is served from ``last_known_good`` when fresh enough."""
         if not self.children:
             raise CompositionError(f"{self.name!r} has no composed services")
-        tasks = [self._child_task(child, visited) for child in self.children]
+        tasks = [self._child_task(child, visited, deadline)
+                 for child in self.children]
         if self.strategy is Strategy.PARALLEL:
             procs = [self.env.process(self.exerter.exert(task),
                                       name=f"csp-collect:{task.name}")
@@ -191,12 +218,34 @@ class CompositeSensorProvider(ServiceProvider):
                 results.append(result)
         bindings = {}
         failures = []
+        stale = []
+        now = self.env.now
         for index, result in enumerate(results):
+            child = self.children[index]
             if result.is_failed:
+                if self.fault_policy == "degraded":
+                    cached = self.last_known_good.get(child.service_id)
+                    if cached is not None and now - cached[0] <= self.stale_max_age:
+                        bindings[variable_name(index)] = cached[1]
+                        age = now - cached[0]
+                        stale.append({"variable": variable_name(index),
+                                      "child": child.display_name,
+                                      "age": age})
+                        self.stale_substitutions += 1
+                        self.events.emit("stale_substitution",
+                                         composite=self.name,
+                                         child=child.display_name,
+                                         age=round(age, 6))
+                        continue
                 failures.append(
-                    f"{self.children[index].display_name}: {result.exceptions}")
+                    f"{child.display_name}: {result.exceptions}")
                 continue
-            bindings[variable_name(index)] = result.get_return_value()
+            value = result.get_return_value()
+            bindings[variable_name(index)] = value
+            self.last_known_good[child.service_id] = (now, value)
+        # An expression needs every variable bound; strict needs every child
+        # live. Degraded tolerates failures only when stale values (or, with
+        # no expression, the surviving children) cover them.
         if failures and (self.fault_policy == "strict"
                          or self.expression is not None):
             raise CompositionError(
@@ -206,7 +255,7 @@ class CompositeSensorProvider(ServiceProvider):
             raise CompositionError(
                 f"{self.name!r}: no component answered "
                 f"({len(failures)} failures)")
-        return bindings
+        return bindings, stale
 
     def _op_get_value(self, ctx):
         visited = list(ctx.get_value(VISITED_PATH, []))
@@ -215,19 +264,25 @@ class CompositeSensorProvider(ServiceProvider):
                 f"composition cycle detected at {self.name!r} "
                 f"(visited: {len(visited)} services)")
         visited.append(self.service_id)
-        bindings = yield from self._collect(visited)
+        expires_at = ctx.get_value(DEADLINE_PATH, None)
+        deadline = Deadline(float(expires_at)) if expires_at is not None else None
+        bindings, stale = yield from self._collect(visited, deadline)
         if self.expression is not None:
             value = self.expression.evaluate(bindings)
         else:
             values = list(bindings.values())
             value = sum(values) / len(values)
         self.last_value = value
+        if stale:
+            # Travels back to the requestor in the result context.
+            ctx.put_value(STALE_PATH, stale)
         return value
 
     def _op_get_reading(self, ctx):
         value = yield from self._op_get_value(ctx)
+        quality = "stale" if ctx.get_value(STALE_PATH, None) else "good"
         return Reading(value=value, unit="composite", timestamp=self.env.now,
-                       sensor_id=self.service_id)
+                       sensor_id=self.service_id, quality=quality)
 
     # -- info / management operations ----------------------------------------------
 
@@ -240,6 +295,7 @@ class CompositeSensorProvider(ServiceProvider):
             "unit": "composite",
             "contained_services": [c.display_name for c in self.children],
             "expression": self.expression.text if self.expression else None,
+            "fault_policy": self.fault_policy,
         }
 
     def _op_add_service(self, ctx):

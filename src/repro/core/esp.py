@@ -16,6 +16,7 @@ from ..jini.entries import Location, SensorType
 from ..jini.lease import Landlord
 from ..net.host import Host
 from ..net.rpc import RemoteRef
+from ..resilience import DEADLINE_PATH, Deadline
 from ..sensors.buffer import ReadingBuffer
 from ..sensors.probe import ProbeError, Reading, SensorProbe
 from ..sorcer.provider import ServiceProvider
@@ -172,11 +173,22 @@ class ElementarySensorProvider(ServiceProvider):
         self.buffer.append(reading)
         return reading
 
+    def _check_deadline(self, ctx) -> None:
+        """Honor a propagated exertion deadline: refuse work on a request
+        whose end-to-end budget is already spent (the caller has given up;
+        answering would only burn the probe and the network)."""
+        expires_at = ctx.get_value(DEADLINE_PATH, None)
+        if expires_at is not None:
+            Deadline(float(expires_at)).check(self.env.now,
+                                              what=f"read on {self.name!r}")
+
     def _op_get_value(self, ctx):
+        self._check_deadline(ctx)
         reading = yield from self._latest()
         return reading.value
 
     def _op_get_reading(self, ctx):
+        self._check_deadline(ctx)
         reading = yield from self._latest()
         return reading
 

@@ -28,6 +28,7 @@ from typing import Optional
 from ..jini.entries import Name, SensorType
 from ..jini.template import ServiceItem, ServiceTemplate
 from ..net.host import Host
+from ..resilience import Deadline
 from ..sorcer.context import ServiceContext
 from ..sorcer.exerter import Exerter
 from ..sorcer.exertion import Task
@@ -104,6 +105,10 @@ class SensorcerFacade(ServiceProvider):
     #: quickly is dead (its lease just hasn't lapsed yet) — keep timeouts
     #: short so control loops (self-healing) stay responsive.
     MGMT_TIMEOUT = 5.0
+    #: End-to-end budget per management exertion: covers lookup, retries
+    #: and backoff, so a wedged target cannot stall the healing loop for
+    #: the compounded sum of its per-attempt timeouts.
+    MGMT_BUDGET = 12.0
 
     def _exert_on(self, item: ServiceItem, selector: str, args: dict):
         ctx = ServiceContext(f"facade->{selector}")
@@ -114,6 +119,7 @@ class SensorcerFacade(ServiceProvider):
                               service_id=item.service_id), ctx)
         task.control.invocation_timeout = self.MGMT_TIMEOUT
         task.control.provider_wait = 3.0
+        task.control.deadline = Deadline.after(self.env.now, self.MGMT_BUDGET)
         result = yield self.env.process(self.exerter.exert(task))
         if result.is_failed:
             raise FacadeError(

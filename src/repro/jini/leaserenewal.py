@@ -3,6 +3,12 @@
 A device that sleeps (a duty-cycled sensor, say) cannot renew its own
 registration leases; it delegates them to this always-on service. Part of
 the Fig 2 infrastructure inventory ("Lease Renewal Service").
+
+A transient network failure must not lose a lease the service was trusted
+with: failed renewals are retried with jittered exponential backoff for as
+long as the lease still has time left. Only a definitive refusal from the
+grantor (it answered and said no — the lease is gone) or actual expiry
+gives up.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from dataclasses import dataclass
 from ..net.errors import NetworkError, RemoteError
 from ..net.host import Host
 from ..net.rpc import RemoteRef, rpc_endpoint
+from ..resilience import RetryPolicy, backoff_rng, resilience_events
 from .lease import Lease
 
 __all__ = ["LeaseRenewalService"]
@@ -33,12 +40,19 @@ class LeaseRenewalService:
     REMOTE_TYPES = ("LeaseRenewalService",)
     REMOTE_METHODS = ("create_set", "add_lease", "remove_set")
 
+    #: Backoff between failed renewal attempts; capped well below typical
+    #: lease durations so several retries fit before expiry.
+    RETRY_POLICY = RetryPolicy(base_delay=0.25, multiplier=2.0,
+                               max_delay=4.0, jitter=0.5)
+
     def __init__(self, host: Host, check_interval: float = 1.0):
         self.host = host
         self.env = host.env
         self._endpoint = rpc_endpoint(host)
         self._sets: dict[str, list[_ManagedLease]] = {}
         self.check_interval = check_interval
+        self.events = resilience_events(host.network)
+        self._rng = backoff_rng(host.name, salt=2)
         self.ref = self._endpoint.export(self, f"norm:{host.name}",
                                          methods=self.REMOTE_METHODS)
 
@@ -71,8 +85,18 @@ class LeaseRenewalService:
         self.remove_set(set_id)
 
     def _renewal_loop(self, managed: _ManagedLease):
+        failures = 0
         while managed.alive and self.env.now < managed.until:
-            wait = max(0.1, managed.lease.remaining(self.env.now) / 2)
+            if failures == 0:
+                wait = max(0.1, managed.lease.remaining(self.env.now) / 2)
+            else:
+                # Transient failure: back off, but never past the lease's
+                # own expiry (a retry after expiry is pointless).
+                wait = min(self.RETRY_POLICY.delay(failures - 1, self._rng),
+                           max(0.05, managed.lease.remaining(self.env.now)))
+                self.events.emit("retry_scheduled", kind="lease-renewal",
+                                 lease=managed.lease.lease_id,
+                                 attempt=failures, delay=round(wait, 6))
             yield self.env.timeout(wait)
             if not managed.alive or self.env.now >= managed.until:
                 return
@@ -82,5 +106,14 @@ class LeaseRenewalService:
                 managed.lease = yield self._endpoint.call(
                     managed.grantor, "renew_lease", managed.lease.lease_id,
                     managed.renew_duration, timeout=3.0)
-            except (RemoteError, NetworkError):
-                managed.alive = False  # lease lost; nothing more to do
+                failures = 0
+            except RemoteError:
+                # The grantor answered and refused: the lease is truly gone.
+                managed.alive = False
+                self.events.emit("lease_lost", lease=managed.lease.lease_id)
+            except NetworkError:
+                failures += 1
+                if managed.lease.remaining(self.env.now) <= 0:
+                    managed.alive = False  # expired while unreachable
+                    self.events.emit("lease_lost",
+                                     lease=managed.lease.lease_id)

@@ -8,6 +8,7 @@ numbers the benchmark harness prints as the paper-style result rows.
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Optional
 
 import numpy as np
 
@@ -15,11 +16,14 @@ __all__ = ["Recorder"]
 
 
 class Recorder:
-    """Named sample series + counters."""
+    """Named sample series + counters + timestamped event traces."""
 
     def __init__(self):
         self._series: dict[str, list[float]] = defaultdict(list)
         self._counters: dict[str, float] = defaultdict(float)
+        #: Ordered (time, name, fields) tuples; fields is a sorted tuple of
+        #: (key, value) pairs so two traces compare with plain ``==``.
+        self._events: list[tuple] = []
 
     # -- recording ------------------------------------------------------------
 
@@ -29,6 +33,11 @@ class Recorder:
     def count(self, name: str, increment: float = 1.0) -> None:
         self._counters[name] += increment
 
+    def event(self, name: str, time: float, **fields) -> None:
+        """Append one trace entry (resilience events, benchmark markers)."""
+        self._events.append((float(time), str(name),
+                             tuple(sorted(fields.items()))))
+
     # -- reading ----------------------------------------------------------------
 
     def counter(self, name: str) -> float:
@@ -36,6 +45,12 @@ class Recorder:
 
     def samples(self, name: str) -> list[float]:
         return list(self._series[name])
+
+    def events(self, name: Optional[str] = None) -> list[tuple]:
+        """The event trace, optionally filtered by event name."""
+        if name is None:
+            return list(self._events)
+        return [e for e in self._events if e[1] == name]
 
     def series_names(self) -> list[str]:
         return sorted(self._series)
@@ -60,4 +75,5 @@ class Recorder:
             self._series[name].extend(values)
         for name, value in other._counters.items():
             self._counters[name] += value
+        self._events.extend(other._events)
         return self

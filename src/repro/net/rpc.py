@@ -79,9 +79,10 @@ def _remote_type_names(obj: Any) -> tuple:
 
 
 class _PendingCall:
-    def __init__(self, event: Event, started_at: float):
+    def __init__(self, event: Event, started_at: float, timer: Event):
         self.event = event
         self.started_at = started_at
+        self.timer = timer
 
 
 class RpcEndpoint:
@@ -170,21 +171,26 @@ class RpcEndpoint:
         :class:`RemoteError`."""
         event = self.env.event()
         request_id = next(self._request_ids)
-        self._pending[request_id] = _PendingCall(event, self.env.now)
+        # The watchdog is a bare Timeout with a callback — not a process.
+        # A process per call would stay alive until the full timeout even
+        # after the reply arrives (generator + pending-event bookkeeping per
+        # in-flight *and completed* call), which bloats the event queue in
+        # large-grid runs. The callback is neutralized on reply instead.
+        timer = self.env.timeout(timeout)
+        self._pending[request_id] = _PendingCall(event, self.env.now, timer)
         payload = (request_id, self.host.name, ref.object_id, method, args, kwargs)
         try:
             self.host.send(ref.host, REQUEST_PORT, kind=kind,
                            payload=payload, protocol=Protocol.JERI)
         except Exception as exc:
             self._pending.pop(request_id, None)
+            timer.callbacks.clear()
             event.fail(exc)
             return event
-        self.env.process(self._watchdog(request_id, timeout),
-                         name=f"rpc-timeout:{method}")
+        timer.callbacks.append(lambda _ev: self._expire(request_id, timeout))
         return event
 
-    def _watchdog(self, request_id: int, timeout: float):
-        yield self.env.timeout(timeout)
+    def _expire(self, request_id: int, timeout: float) -> None:
         pending = self._pending.pop(request_id, None)
         if pending is not None and not pending.event.triggered:
             pending.event.fail(RpcTimeout(
@@ -195,6 +201,10 @@ class RpcEndpoint:
         pending = self._pending.pop(request_id, None)
         if pending is None or pending.event.triggered:
             return  # reply after timeout: drop, like a closed socket
+        # Neutralize the watchdog: its heap slot stays (removal from a
+        # binary heap is O(n)) but the callback and its closure are dropped.
+        if pending.timer.callbacks is not None:
+            pending.timer.callbacks.clear()
         if ok:
             pending.event.succeed(value)
         else:

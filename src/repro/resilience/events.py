@@ -1,0 +1,51 @@
+"""Resilience event stream — what the failure machinery did and when.
+
+Every resilience decision (retry scheduled, breaker opened/half-open/closed,
+stale substitution, deadline exceeded, lease renewal retried) is emitted
+here, landing in a :class:`~repro.metrics.Recorder` as both a counter
+(``resilience.<kind>``) and a timestamped event-trace entry. Benchmarks
+assert on the counters; determinism tests compare whole traces; the browser
+can render the trace as a timeline.
+
+One stream exists per :class:`~repro.net.network.Network` (lazily created,
+like per-host RPC endpoints) so every component in a run — exerters on any
+host, lease renewal services, CSPs — shares a single ordered trace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..metrics.recorder import Recorder
+from ..sim import Environment
+
+__all__ = ["ResilienceEvents", "resilience_events"]
+
+
+class ResilienceEvents:
+    """Clock-stamped emitter over a :class:`Recorder`."""
+
+    def __init__(self, env: Environment, recorder: Optional[Recorder] = None):
+        self.env = env
+        self.recorder = recorder if recorder is not None else Recorder()
+
+    def emit(self, kind: str, **fields) -> None:
+        self.recorder.count(f"resilience.{kind}")
+        self.recorder.event(kind, self.env.now, **fields)
+
+    def count(self, kind: str) -> float:
+        return self.recorder.counter(f"resilience.{kind}")
+
+    @property
+    def trace(self) -> list:
+        """The full ordered event trace: ``(time, kind, fields)`` tuples."""
+        return self.recorder.events()
+
+
+def resilience_events(network) -> ResilienceEvents:
+    """The network's shared resilience event stream (created on first use)."""
+    events = getattr(network, "_resilience_events", None)
+    if events is None:
+        events = ResilienceEvents(network.env)
+        network._resilience_events = events
+    return events

@@ -1,0 +1,65 @@
+"""Retry policies — exponential backoff with deterministic jitter.
+
+Jitter keeps a fleet of requestors from retrying in lock-step (the thundering
+herd a synchronized backoff produces), but a wall-clock or global-RNG jitter
+would make simulation traces irreproducible. Delays are therefore drawn from
+a caller-supplied :func:`numpy.random.Generator` seeded stably (see
+:func:`backoff_rng`), so identical scenario seeds replay identical delays.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "backoff_rng"]
+
+
+def backoff_rng(name: str, salt: int = 0) -> np.random.Generator:
+    """A stable RNG for jitter, derived from a name (host name, usually).
+
+    Independent of construction order and of every other RNG in the run, so
+    adding a retry somewhere cannot perturb unrelated random streams.
+    """
+    return np.random.default_rng([zlib.crc32(name.encode("utf-8")), salt, 0x5EED])
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff: ``base_delay * multiplier**attempt``, capped.
+
+    ``jitter`` is the fraction of each delay that is randomized *downward*
+    (a "decorrelated shave"): with jitter 0.5 the actual delay lands
+    uniformly in ``[0.5 * d, d]``. Shaving down rather than up keeps the
+    policy's ``max_delay`` an honest upper bound for deadline math.
+    """
+
+    base_delay: float = 0.2
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+
+    def delay(self, attempt: int,
+              rng: Optional[np.random.Generator] = None) -> float:
+        """Delay before retry number ``attempt`` (0-based: the wait after
+        the first failure is ``delay(0)``)."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** max(0, attempt))
+        if self.jitter <= 0.0 or rng is None or raw <= 0.0:
+            return raw
+        return raw * (1.0 - self.jitter * float(rng.random()))
+
+    def total_budget(self, attempts: int) -> float:
+        """Upper bound on the summed backoff across ``attempts`` retries."""
+        return sum(min(self.max_delay, self.base_delay * self.multiplier ** a)
+                   for a in range(max(0, attempts)))

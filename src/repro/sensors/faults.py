@@ -68,6 +68,10 @@ class FaultInjector:
         self._transient: Optional[FaultSchedule] = None
         self._last_value: Optional[float] = None
         self._drift_started: Optional[float] = None
+        #: Timestamp of the last hazard draw and its outcome. A second query
+        #: at the same sim time must see the same decision, not a fresh roll.
+        self._hazard_t: Optional[float] = None
+        self._hazard_mode: FaultMode = FaultMode.OK
 
     def schedule(self, mode: FaultMode, start: float, end: float) -> None:
         if start >= end:
@@ -75,13 +79,19 @@ class FaultInjector:
         self.schedules.append(FaultSchedule(mode, start, end))
 
     def mode_at(self, t: float) -> FaultMode:
+        """The fault mode active at ``t``. Idempotent per timestamp: the
+        hazard RNG is consulted at most once for each distinct ``t``, so an
+        external ``mode_at`` check followed by :meth:`transform` at the same
+        sim time sees one consistent fault decision."""
         for window in self.schedules:
             if window.active(t):
                 return window.mode
         if self._transient is not None and self._transient.active(t):
             return self._transient.mode
+        if self._hazard_t == t:
+            return self._hazard_mode
         self._transient = None
-        # Hazard draws (at most one transient at a time).
+        # Hazard draws (at most one transient at a time, one roll per t).
         roll = self.rng.random()
         if roll < self.dropout_rate:
             self._transient = FaultSchedule(FaultMode.DROPOUT, t, t + self.hold)
@@ -89,7 +99,10 @@ class FaultInjector:
             self._transient = FaultSchedule(FaultMode.STUCK, t, t + self.hold)
         elif roll < self.dropout_rate + self.stuck_rate + self.noise_rate:
             self._transient = FaultSchedule(FaultMode.NOISY, t, t + self.hold)
-        return self._transient.mode if self._transient else FaultMode.OK
+        self._hazard_t = t
+        self._hazard_mode = (self._transient.mode if self._transient
+                             else FaultMode.OK)
+        return self._hazard_mode
 
     def transform(self, value: float, t: float) -> float:
         """Apply the active fault to a raw value (may raise ProbeFault)."""

@@ -15,9 +15,22 @@ from ..jini.template import ServiceItem, ServiceTemplate
 from ..net.errors import NetworkError
 from ..net.host import Host
 from ..net.rpc import rpc_endpoint
+from ..resilience import BreakerRegistry, resilience_events
 from .signature import Signature
 
-__all__ = ["ServiceAccessor"]
+__all__ = ["ServiceAccessor", "breaker_registry"]
+
+
+def breaker_registry(host: Host) -> BreakerRegistry:
+    """The host's shared per-provider circuit breakers (created on first
+    use, like the host's RPC endpoint). Every accessor/exerter on the host
+    consults the same registry, so a provider marked dead by one requestor
+    component is skipped by all of them."""
+    registry = getattr(host, "_breaker_registry", None)
+    if registry is None:
+        registry = BreakerRegistry(events=resilience_events(host.network))
+        host._breaker_registry = registry
+    return registry
 
 
 class ServiceAccessor:
@@ -39,6 +52,8 @@ class ServiceAccessor:
         self.cache_ttl = cache_ttl
         self.discovery = lookup_discovery(host)
         self._endpoint = rpc_endpoint(host)
+        #: Host-wide per-provider circuit breakers (see breaker_registry).
+        self.breakers = breaker_registry(host)
         #: template -> (expires_at, items)
         self._cache: dict = {}
         self.cache_hits = 0

@@ -6,15 +6,37 @@ on to the equivalent available service provider"), or route a job to a
 rendezvous peer (Jobber for PUSH, Spacer for PULL). If nothing matches and
 the signature carries ``provision=True``, an attached provisioner is asked
 to instantiate a provider before giving up.
+
+Failure handling is governed by the resilience layer:
+
+* retries back off exponentially with deterministic per-host jitter
+  (:class:`~repro.resilience.RetryPolicy`) instead of hammering instantly;
+* an optional :class:`~repro.resilience.Deadline` in the control context is
+  an end-to-end budget — provider waits, per-attempt timeouts and backoff
+  delays are all clamped to what remains, and the expiry is forwarded to
+  providers so nested exertions inherit it;
+* per-provider circuit breakers skip candidates that recently looked dead
+  in O(1) instead of burning a timeout on each. An exertion with a deadline
+  fails fast when every candidate is open-circuit; a patient exertion
+  (no deadline) probes the open breaker anyway, so liveness is never lost.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..net.errors import NetworkError
+from ..net.errors import HostDownError, NetworkError, RpcTimeout, UnreachableError
 from ..net.host import Host
 from ..net.rpc import rpc_endpoint
+from ..resilience import (
+    DEADLINE_PATH,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    backoff_rng,
+    resilience_events,
+)
 from .accessor import ServiceAccessor
 from .exertion import Access, Exertion, Job, Task
 from .signature import Signature
@@ -24,9 +46,18 @@ __all__ = ["Exerter"]
 JOBBER_TYPE = "Jobber"
 SPACER_TYPE = "Spacer"
 
+#: Failures that indicate the *provider* (not the request) is in trouble —
+#: the only ones that feed circuit breakers. A RemoteError means the host
+#: answered; tripping its breaker would punish a live provider.
+_BREAKER_FAILURES = (RpcTimeout, HostDownError, UnreachableError)
+
 
 class Exerter:
     """Requestor-side exertion runtime bound to one host."""
+
+    #: Default backoff between retries when the control context names none.
+    DEFAULT_BACKOFF = RetryPolicy(base_delay=0.2, multiplier=2.0,
+                                  max_delay=5.0, jitter=0.5)
 
     def __init__(self, host: Host, accessor: Optional[ServiceAccessor] = None,
                  provisioner: Optional[Callable] = None):
@@ -38,6 +69,11 @@ class Exerter:
         self.accessor = accessor if accessor is not None else ServiceAccessor(host)
         self.provisioner = provisioner
         self._endpoint = rpc_endpoint(host)
+        #: Per-provider circuit breakers, shared host-wide via the accessor.
+        self.breakers = self.accessor.breakers
+        self.events = resilience_events(host.network)
+        #: Stable jitter stream: independent of all other RNGs in the run.
+        self._rng = backoff_rng(host.name, salt=1)
         #: Rotates candidate lists so equivalent providers share the load.
         self._rotation = 0
 
@@ -57,65 +93,148 @@ class Exerter:
 
     # -- internals ------------------------------------------------------------------
 
+    def _fail(self, exertion: Exertion, message: str) -> Exertion:
+        exertion = exertion.copy()
+        exertion.report_exception(message)
+        return exertion
+
+    def _acquire_candidate(self, items, attempt: int, patient: bool):
+        """First candidate (in rotated order) whose breaker admits a call.
+
+        Open breakers are a *latency* optimization, so they only hard-refuse
+        when the caller declared a time budget. A patient caller (no
+        deadline) prefers certainty over speed: if every breaker refuses,
+        the rotated pick is probed anyway — a breaker must never turn a
+        slow-but-alive federation into a permanently unreachable one.
+        """
+        n = len(items)
+        for k in range(n):
+            item = items[(attempt + k) % n]
+            if self.breakers.try_acquire(item.service_id, self.env.now):
+                return item
+            self.events.emit("breaker_skip", provider=item.service_id)
+        if not patient:
+            return None
+        item = items[attempt % n]
+        self.events.emit("breaker_forced_probe", provider=item.service_id)
+        return item
+
+    def _backoff(self, policy: RetryPolicy, attempt: int,
+                 deadline: Optional[Deadline], name: str):
+        """Sleep the jittered backoff delay (clamped to the deadline)."""
+        delay = policy.delay(attempt, self._rng)
+        if deadline is not None:
+            delay = deadline.clamp(delay, self.env.now)
+        self.events.emit("retry_scheduled", exertion=name, attempt=attempt,
+                         delay=round(delay, 6))
+        if delay > 0:
+            yield self.env.timeout(delay)
+
+    def _invoke_candidates(self, exertion, items, txn_id,
+                           failure_label: str):
+        """Shared attempt loop for tasks and jobs: breaker-aware candidate
+        choice, deadline-clamped timeouts, backoff between attempts.
+        Returns the provider's result or raises the last failure."""
+        control = exertion.control
+        deadline = control.deadline
+        policy = control.backoff if control.backoff is not None else self.DEFAULT_BACKOFF
+        if deadline is not None:
+            # Forward the expiry so the provider's own nested exertions
+            # (a CSP collecting children, say) inherit the same budget.
+            exertion.context.put_value(DEADLINE_PATH, deadline.expires_at)
+        attempts = 1 + max(0, control.retries)
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            now = self.env.now
+            if deadline is not None and deadline.expired(now):
+                self.events.emit("deadline_exceeded", exertion=exertion.name)
+                raise last_error if last_error is not None else DeadlineExceeded(
+                    f"{exertion.name!r}: budget spent before any attempt completed")
+            # Cycle through candidates; with a single candidate this is a
+            # plain retransmission (a lost message, not a dead provider).
+            item = self._acquire_candidate(items, attempt,
+                                           patient=deadline is None)
+            if item is None:
+                raise CircuitOpenError(
+                    f"{failure_label}: all {len(items)} candidate provider(s) "
+                    "open-circuit")
+            timeout = control.invocation_timeout
+            if deadline is not None:
+                timeout = deadline.clamp(timeout, now)
+            try:
+                result = yield self._endpoint.call(
+                    item.service, "service", exertion, txn_id,
+                    kind="exertion", timeout=timeout)
+                self.breakers.record_success(item.service_id, self.env.now)
+                return result
+            except NetworkError as exc:
+                last_error = exc
+                if isinstance(exc, _BREAKER_FAILURES):
+                    self.breakers.record_failure(item.service_id, self.env.now)
+                if attempt + 1 < attempts:
+                    yield from self._backoff(policy, attempt, deadline,
+                                             exertion.name)
+        raise last_error if last_error is not None else RpcTimeout(
+            f"{failure_label}: no attempt completed")
+
     def _exert_task(self, task: Task, txn_id: Optional[int],
                     _fresh_lookup: bool = False):
         signature = task.signature
         control = task.control
-        items = yield from self._find_providers(signature, control.provider_wait)
+        deadline = control.deadline
+        if deadline is not None and deadline.expired(self.env.now):
+            self.events.emit("deadline_exceeded", exertion=task.name)
+            return self._fail(task, f"deadline expired before exerting {task.name!r}")
+        wait = control.provider_wait
+        if deadline is not None:
+            wait = deadline.clamp(wait, self.env.now)
+        items = yield from self._find_providers(signature, wait)
         if not items:
-            task = task.copy()
-            task.report_exception(
-                f"no provider for {signature} within {control.provider_wait}s")
-            return task
-        attempts = 1 + max(0, control.retries)
-        last_error: Optional[BaseException] = None
-        for attempt in range(attempts):
-            # Cycle through candidates; with a single candidate this is a
-            # plain retransmission (a lost message, not a dead provider).
-            item = items[attempt % len(items)]
-            try:
-                result = yield self._endpoint.call(
-                    item.service, "service", task, txn_id,
-                    kind="exertion", timeout=control.invocation_timeout)
-                return result
-            except NetworkError as exc:
-                last_error = exc
-                continue
-        if not _fresh_lookup and getattr(self.accessor, "cache_ttl", 0) > 0:
+            return self._fail(
+                task, f"no provider for {signature} within {wait}s")
+        try:
+            result = yield from self._invoke_candidates(
+                task, items, txn_id, failure_label=f"task {task.name!r}")
+            return result
+        except CircuitOpenError as exc:
+            return self._fail(task, str(exc))
+        except DeadlineExceeded as exc:
+            return self._fail(task, str(exc))
+        except NetworkError as exc:
+            last_error = exc
+        if not _fresh_lookup and getattr(self.accessor, "cache_ttl", 0) > 0 \
+                and not (deadline is not None and deadline.expired(self.env.now)):
             # Every candidate failed: the accessor's cache may be stale
             # (provider churn). Invalidate and retry once with a live lookup.
             self.accessor.invalidate(signature.template())
             result = yield from self._exert_task(task, txn_id,
                                                  _fresh_lookup=True)
             return result
-        task = task.copy()
-        task.report_exception(f"all candidate providers failed: {last_error!r}")
-        return task
+        return self._fail(task, f"all candidate providers failed: {last_error!r}")
 
     def _exert_job(self, job: Job, txn_id: Optional[int]):
         rendezvous_type = (SPACER_TYPE if job.control.access is Access.PULL
                            else JOBBER_TYPE)
         signature = Signature(rendezvous_type, "service")
-        items = yield from self._find_providers(signature, job.control.provider_wait)
+        deadline = job.control.deadline
+        if deadline is not None and deadline.expired(self.env.now):
+            self.events.emit("deadline_exceeded", exertion=job.name)
+            return self._fail(job, f"deadline expired before exerting {job.name!r}")
+        wait = job.control.provider_wait
+        if deadline is not None:
+            wait = deadline.clamp(wait, self.env.now)
+        items = yield from self._find_providers(signature, wait)
         if not items:
-            job = job.copy()
-            job.report_exception(
-                f"no {rendezvous_type} rendezvous peer on the network")
-            return job
-        last_error: Optional[BaseException] = None
-        for attempt in range(1 + max(0, job.control.retries)):
-            item = items[attempt % len(items)]
-            try:
-                result = yield self._endpoint.call(
-                    item.service, "service", job, txn_id,
-                    kind="exertion", timeout=job.control.invocation_timeout)
-                return result
-            except NetworkError as exc:
-                last_error = exc
-                continue
-        job = job.copy()
-        job.report_exception(f"rendezvous invocation failed: {last_error!r}")
-        return job
+            return self._fail(
+                job, f"no {rendezvous_type} rendezvous peer on the network")
+        try:
+            result = yield from self._invoke_candidates(
+                job, items, txn_id, failure_label=f"job {job.name!r}")
+            return result
+        except (CircuitOpenError, DeadlineExceeded) as exc:
+            return self._fail(job, str(exc))
+        except NetworkError as exc:
+            return self._fail(job, f"rendezvous invocation failed: {exc!r}")
 
     def _find_providers(self, signature: Signature, wait: float):
         items = yield from self.accessor.find_for(signature, wait=wait)

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Optional
 
+from ..resilience import Deadline, RetryPolicy
 from .context import ServiceContext
 from .signature import Signature
 
@@ -55,6 +56,15 @@ class ControlContext:
     invocation_timeout: float = 30.0
     #: Retries on alternate providers after a provider failure.
     retries: int = 2
+    #: End-to-end time budget (absolute sim-time expiry). When set, the
+    #: exerter clamps ``provider_wait``, every per-attempt timeout and every
+    #: backoff delay to the remaining budget, and forwards the expiry to
+    #: providers so nested exertions inherit it instead of compounding
+    #: their own timeouts.
+    deadline: Optional[Deadline] = None
+    #: Backoff between retry attempts; ``None`` uses the exerter's default
+    #: policy. Delays are jittered deterministically (seeded per host).
+    backoff: Optional[RetryPolicy] = None
 
 
 @dataclass

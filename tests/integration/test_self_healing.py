@@ -3,12 +3,31 @@
 The scenario the fault_tolerant_fleet example does by hand: Rio re-creates
 a crashed composite *empty*; with a saved plan and self-healing enabled,
 the façade restores its composition and expression automatically.
+
+Also: CSP fault policies under a network *partition* (hosts alive but
+mutually unreachable) followed by a heal — the link comes back and queries
+must recover on their own, with no breaker or cache stuck in the failed
+state.
 """
 
+import numpy as np
 import pytest
 
-from repro.jini import ServiceTemplate
-from repro.core import CompositionPlan, SENSOR_DATA_ACCESSOR
+from repro.jini import LookupService, ServiceTemplate
+from repro.jini.entries import Location
+from repro.net import FixedLatency, Host, Network
+from repro.resilience import BreakerState, resilience_events
+from repro.sensors import PhysicalEnvironment, TemperatureProbe
+from repro.sim import Environment
+from repro.sorcer import Exerter, ServiceContext, Signature, Task
+from repro.core import (
+    STALE_PATH,
+    CompositeSensorProvider,
+    CompositionPlan,
+    ElementarySensorProvider,
+    OP_GET_VALUE,
+    SENSOR_DATA_ACCESSOR,
+)
 from repro.scenarios import build_paper_lab
 
 
@@ -137,6 +156,100 @@ def test_disable_self_healing_stops_reapplying(lab):
     lab.composite.expression = None
     lab.env.run(until=lab.env.now + 10.0)
     assert lab.facade.healing_actions == before  # nothing reapplied
+
+
+def build_partition_grid(fault_policy, **csp_kwargs):
+    """Two ESPs + one CSP on separate hosts; returns the pieces needed to
+    partition the CSP away from its second child."""
+    env = Environment()
+    net = Network(env, rng=np.random.default_rng(77),
+                  latency=FixedLatency(0.001))
+    world = PhysicalEnvironment(seed=77)
+    LookupService(Host(net, "lus-host")).start()
+    esps = []
+    for index, location in enumerate([(0.0, 0.0), (60.0, 0.0)]):
+        name = f"P{index + 1}"
+        probe = TemperatureProbe(env, name.lower(), world, location,
+                                 rng=np.random.default_rng(index),
+                                 sensing_noise=0.0)
+        esp = ElementarySensorProvider(Host(net, f"{name}-host"), name, probe,
+                                       sample_interval=1.0,
+                                       location=Location(building="Lab"))
+        esp.start()
+        esps.append(esp)
+    csp = CompositeSensorProvider(Host(net, "csp-host"),
+                                  f"Composite-{fault_policy}",
+                                  fault_policy=fault_policy,
+                                  child_wait=1.0, child_timeout=1.0,
+                                  **csp_kwargs)
+    csp.start()
+    for esp in esps:
+        csp.add_child(esp.service_id, esp.name)
+    env.run(until=3.0)
+    return env, net, csp, esps
+
+
+def query_csp(env, net, csp, tag):
+    exerter = Exerter(Host(net, f"ph-client-{tag}"))
+
+    def proc():
+        yield env.timeout(2.0)
+        task = Task(f"q-{tag}",
+                    Signature(SENSOR_DATA_ACCESSOR, OP_GET_VALUE,
+                              service_id=csp.service_id), ServiceContext())
+        result = yield env.process(exerter.exert(task))
+        return result
+
+    return env.run(until=env.process(proc()))
+
+
+def test_skip_policy_survives_partition_and_heals():
+    env, net, csp, esps = build_partition_grid("skip")
+    sides = (["csp-host"], ["P2-host"])
+    warm = query_csp(env, net, csp, "skip-warm")
+    assert warm.is_done, warm.exceptions
+
+    net.partition(*sides)
+    during = query_csp(env, net, csp, "skip-cut")
+    # Skip aggregates the reachable child alone — P2 is cut off, not dead.
+    assert during.is_done, during.exceptions
+    # Repeated failures opened the CSP's breaker for the unreachable child.
+    breakers = csp.exerter.breakers
+    assert breakers.state_of(esps[1].service_id) is BreakerState.OPEN
+
+    net.heal_partition(*sides)
+    env.run(until=env.now + 12.0)  # past the breaker's reset_timeout
+    healed = query_csp(env, net, csp, "skip-healed")
+    assert healed.is_done, healed.exceptions
+    # Nothing stuck: the half-open probe succeeded and closed the breaker.
+    assert breakers.state_of(esps[1].service_id) is BreakerState.CLOSED
+
+
+def test_degraded_policy_answers_through_partition_and_recovers():
+    env, net, csp, esps = build_partition_grid("degraded",
+                                               stale_max_age=120.0)
+    csp.set_expression("(a + b)/2")
+    sides = (["csp-host"], ["P2-host"])
+    warm = query_csp(env, net, csp, "deg-warm")
+    assert warm.is_done, warm.exceptions
+
+    net.partition(*sides)
+    during = query_csp(env, net, csp, "deg-cut")
+    # Both variables stayed bound — b was served from last-known-good.
+    assert during.is_done, during.exceptions
+    assert csp.stale_substitutions >= 1
+    notes = during.context.get_value(STALE_PATH)
+    assert [n["child"] for n in notes] == ["P2"]
+    assert resilience_events(net).count("stale_substitution") >= 1
+
+    net.heal_partition(*sides)
+    env.run(until=env.now + 12.0)
+    substitutions_before = csp.stale_substitutions
+    healed = query_csp(env, net, csp, "deg-healed")
+    assert healed.is_done, healed.exceptions
+    # Fresh data again: no new substitution, no stale flag in the result.
+    assert csp.stale_substitutions == substitutions_before
+    assert healed.context.get_value(STALE_PATH, None) is None
 
 
 def test_plan_validation():

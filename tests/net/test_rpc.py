@@ -233,6 +233,67 @@ def test_concurrent_calls_multiplex():
     assert sorted(results) == [0, 2, 4, 6, 8]
 
 
+def test_watchdog_neutralized_when_reply_arrives():
+    env, net, sh, ch, server, client = setup()
+    ref = server.export(Calculator(), "calc")
+
+    def caller():
+        result = yield client.call(ref, "add", 2, 3)
+        return result
+
+    p = env.process(caller())
+    # The call is in flight: exactly one pending entry with an armed timer.
+    env.run(until=env.now)  # let call() run (process starts immediately)
+    assert len(client._pending) == 1
+    timer = next(iter(client._pending.values())).timer
+    assert len(timer.callbacks) == 1
+    assert env.run(until=p) == 5
+    # Reply arrived: pending map drained and the watchdog defused, so the
+    # timer firing at full timeout later is a no-op.
+    assert client._pending == {}
+    assert timer.callbacks == []
+    env.run()  # drain the neutered timer without incident
+
+
+def test_no_watchdog_process_spawned_per_call():
+    env, net, sh, ch, server, client = setup()
+    ref = server.export(Calculator(), "calc")
+    spawned = []
+    original = env.process
+
+    def recording_process(gen, name=None):
+        spawned.append(name)
+        return original(gen, name=name)
+
+    env.process = recording_process
+
+    def caller():
+        result = yield client.call(ref, "add", 4, 4)
+        return result
+
+    p = original(caller(), name="caller")
+    assert env.run(until=p) == 8
+    # Only the caller and the server-side dispatch run as processes; the
+    # client-side timeout watchdog must not be one.
+    assert not any(name and "timeout" in name for name in spawned if name)
+
+
+def test_watchdog_still_fires_without_reply():
+    env, net, sh, ch, server, client = setup()
+    ref = server.export(Calculator(), "calc")
+    sh.fail()
+
+    def caller():
+        try:
+            yield client.call(ref, "add", 1, 2, timeout=0.75)
+        except RpcTimeout:
+            return ("timed-out", env.now)
+
+    p = env.process(caller())
+    assert env.run(until=p) == ("timed-out", pytest.approx(0.75))
+    assert client._pending == {}
+
+
 def test_nested_rpc_server_calls_another_server():
     env = Environment()
     net = Network(env, rng=np.random.default_rng(1), latency=FixedLatency(0.001))

@@ -1,0 +1,27 @@
+"""Shared fixtures for resilience-layer tests: a small running grid."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.net import FixedLatency, Host, Network
+from repro.jini import LookupService
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def net(env):
+    return Network(env, rng=np.random.default_rng(17), latency=FixedLatency(0.001))
+
+
+@pytest.fixture
+def grid(env, net):
+    """Network with one started LUS; returns (env, net, lus)."""
+    lus_host = Host(net, "lus-host")
+    lus = LookupService(lus_host)
+    lus.start()
+    return env, net, lus

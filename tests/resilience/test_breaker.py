@@ -1,0 +1,108 @@
+"""Tests for the circuit breaker state machine and registry."""
+
+from repro.resilience import BreakerRegistry, BreakerState, CircuitBreaker
+
+
+def test_starts_closed_and_admits():
+    breaker = CircuitBreaker(failure_threshold=3)
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.try_acquire(0.0)
+
+
+def test_opens_after_threshold_consecutive_failures():
+    breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0)
+    for t in range(2):
+        breaker.record_failure(float(t))
+        assert breaker.state is BreakerState.CLOSED
+    breaker.record_failure(2.0)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.opens == 1
+    assert not breaker.try_acquire(3.0)
+    assert breaker.refusals == 1
+
+
+def test_success_resets_failure_count():
+    breaker = CircuitBreaker(failure_threshold=3)
+    breaker.record_failure(0.0)
+    breaker.record_failure(1.0)
+    breaker.record_success(2.0)
+    breaker.record_failure(3.0)
+    breaker.record_failure(4.0)
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_half_open_after_reset_timeout():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0)
+    breaker.record_failure(0.0)
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.try_acquire(4.9)
+    assert breaker.try_acquire(5.0)
+    assert breaker.state is BreakerState.HALF_OPEN
+
+
+def test_half_open_probe_success_closes():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0)
+    breaker.record_failure(0.0)
+    assert breaker.try_acquire(6.0)
+    breaker.record_success(6.1)
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_half_open_probe_failure_reopens():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0)
+    breaker.record_failure(0.0)
+    assert breaker.try_acquire(6.0)
+    breaker.record_failure(6.5)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.opens == 2
+    # Clock restarts from the re-open, not the original failure.
+    assert not breaker.try_acquire(10.0)
+    assert breaker.try_acquire(11.5)
+
+
+def test_half_open_limits_concurrent_probes():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0,
+                             half_open_probes=2)
+    breaker.record_failure(0.0)
+    assert breaker.try_acquire(6.0)
+    assert breaker.try_acquire(6.0)
+    assert not breaker.try_acquire(6.0)  # third probe refused
+
+
+def test_transition_callback_fires():
+    seen = []
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0,
+                             on_transition=lambda old, new, now:
+                             seen.append((old, new, now)))
+    breaker.record_failure(1.0)
+    breaker.try_acquire(7.0)
+    breaker.record_success(7.5)
+    assert seen == [
+        (BreakerState.CLOSED, BreakerState.OPEN, 1.0),
+        (BreakerState.OPEN, BreakerState.HALF_OPEN, 7.0),
+        (BreakerState.HALF_OPEN, BreakerState.CLOSED, 7.5),
+    ]
+
+
+def test_registry_keys_are_independent():
+    registry = BreakerRegistry(failure_threshold=1)
+    registry.record_failure("dead", 0.0)
+    assert registry.state_of("dead") is BreakerState.OPEN
+    assert registry.state_of("alive") is BreakerState.CLOSED
+    assert not registry.try_acquire("dead", 1.0)
+    assert registry.try_acquire("alive", 1.0)
+
+
+def test_registry_disabled_is_passthrough():
+    registry = BreakerRegistry(failure_threshold=1, enabled=False)
+    for t in range(10):
+        registry.record_failure("dead", float(t))
+    assert registry.try_acquire("dead", 100.0)
+    assert registry.snapshot() == {}
+
+
+def test_registry_snapshot():
+    registry = BreakerRegistry(failure_threshold=1)
+    registry.record_failure("b", 0.0)
+    registry.record_success("a", 0.0)
+    assert registry.snapshot() == {"a": "closed", "b": "open"}

@@ -1,0 +1,69 @@
+"""Tests for Deadline arithmetic and the event stream."""
+
+import pytest
+
+from repro.resilience import (
+    Deadline,
+    DeadlineExceeded,
+    ResilienceEvents,
+    resilience_events,
+)
+from repro.sim import Environment
+
+
+def test_after_and_remaining():
+    d = Deadline.after(10.0, 5.0)
+    assert d.expires_at == 15.0
+    assert d.remaining(12.0) == pytest.approx(3.0)
+    assert d.remaining(20.0) == 0.0
+
+
+def test_negative_budget_clamped_to_now():
+    d = Deadline.after(10.0, -3.0)
+    assert d.expires_at == 10.0
+    assert d.expired(10.0)
+
+
+def test_expired_boundary():
+    d = Deadline(expires_at=5.0)
+    assert not d.expired(4.999)
+    assert d.expired(5.0)
+
+
+def test_clamp_takes_smaller_of_timeout_and_remaining():
+    d = Deadline(expires_at=10.0)
+    assert d.clamp(4.0, 3.0) == 4.0    # plenty of budget left
+    assert d.clamp(4.0, 8.0) == 2.0    # budget is tighter
+    assert d.clamp(4.0, 12.0) == 0.0   # already expired
+
+
+def test_check_raises_with_context():
+    d = Deadline(expires_at=5.0)
+    d.check(4.0)  # fine
+    with pytest.raises(DeadlineExceeded, match="composite read"):
+        d.check(6.0, what="composite read")
+
+
+def test_events_trace_is_clock_stamped():
+    env = Environment()
+    events = ResilienceEvents(env)
+    events.emit("retry_scheduled", attempt=0)
+    env.run(until=2.5)
+    events.emit("breaker_open", key="esp-1")
+    assert events.count("retry_scheduled") == 1
+    assert events.count("breaker_open") == 1
+    assert events.trace == [
+        (0.0, "retry_scheduled", (("attempt", 0),)),
+        (2.5, "breaker_open", (("key", "esp-1"),)),
+    ]
+
+
+def test_resilience_events_singleton_per_network():
+    import numpy as np
+
+    from repro.net import FixedLatency, Network
+
+    env = Environment()
+    net = Network(env, rng=np.random.default_rng(1),
+                  latency=FixedLatency(0.001))
+    assert resilience_events(net) is resilience_events(net)

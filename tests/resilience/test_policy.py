@@ -1,0 +1,69 @@
+"""Tests for RetryPolicy and the stable jitter RNG."""
+
+import pytest
+
+from repro.resilience import RetryPolicy, backoff_rng
+
+
+def test_delay_grows_exponentially_without_jitter():
+    policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=10.0,
+                         jitter=0.0)
+    assert policy.delay(0) == pytest.approx(0.1)
+    assert policy.delay(1) == pytest.approx(0.2)
+    assert policy.delay(2) == pytest.approx(0.4)
+    assert policy.delay(5) == pytest.approx(3.2)
+
+
+def test_delay_capped_at_max():
+    policy = RetryPolicy(base_delay=1.0, multiplier=3.0, max_delay=5.0,
+                         jitter=0.0)
+    assert policy.delay(10) == 5.0
+
+
+def test_jitter_shaves_down_never_up():
+    policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=8.0,
+                         jitter=0.5)
+    rng = backoff_rng("jitter-host")
+    for attempt in range(6):
+        raw = min(8.0, 1.0 * 2.0 ** attempt)
+        d = policy.delay(attempt, rng)
+        assert 0.5 * raw <= d <= raw
+
+
+def test_jitter_deterministic_for_same_name():
+    policy = RetryPolicy(jitter=0.5)
+    a = [policy.delay(i, backoff_rng("host-a")) for i in range(8)]
+    b = [policy.delay(i, backoff_rng("host-a")) for i in range(8)]
+    assert a == b
+
+
+def test_jitter_differs_across_names_and_salts():
+    policy = RetryPolicy(jitter=0.5)
+    a = [policy.delay(i, backoff_rng("host-a")) for i in range(8)]
+    b = [policy.delay(i, backoff_rng("host-b")) for i in range(8)]
+    c = [policy.delay(i, backoff_rng("host-a", salt=1)) for i in range(8)]
+    assert a != b
+    assert a != c
+
+
+def test_no_rng_means_full_delay():
+    policy = RetryPolicy(base_delay=0.5, multiplier=2.0, max_delay=4.0,
+                         jitter=0.9)
+    assert policy.delay(1) == pytest.approx(1.0)
+
+
+def test_total_budget_bounds_sum_of_delays():
+    policy = RetryPolicy(base_delay=0.2, multiplier=2.0, max_delay=2.0,
+                         jitter=0.5)
+    rng = backoff_rng("budget-host")
+    total = sum(policy.delay(i, rng) for i in range(5))
+    assert total <= policy.total_budget(5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
