@@ -16,10 +16,14 @@ crossover (the per-call JERI framing is ~3x a raw TCP segment, so direct
 wins for N=1 and loses for N >= ~4).
 """
 
+import gc
+import time
+
 import pytest
 
 from repro.metrics import render_table
 from repro.net import Host
+from repro.observability import tracer_of
 from repro.scenarios import build_direct_grid, build_sensorcer_grid
 from repro.baselines import DirectPollingCollector, StreamCollector, StreamingSensorNode
 from repro.sensors import PhysicalEnvironment, TemperatureProbe
@@ -133,3 +137,87 @@ def test_overhead_streaming_goodput(benchmark, report):
         title="E-OVH — raw streaming of one tiny reading per message"))
     # §II.1: headers dominate tiny sensor readings.
     assert goodput < 0.5
+
+
+def _timed_collect_run(n, tracing, rounds=ROUNDS):
+    """Wall-clock seconds for settle + ``rounds`` aggregate collections on
+    an n-sensor grid, with tracing on or off. Returns (seconds, spans).
+
+    The cyclic GC is paused during the timed region (and collected once
+    right before it): its gen-0 cadence is allocation-count driven, so it
+    fires at arbitrary points and charges whole-heap scan pauses to
+    whichever run happens to trip the threshold — noise, not tracing cost.
+    """
+    grid = build_sensorcer_grid(n, seed=11, fixed_latency=0.001,
+                                sample_interval=1e9)
+    tracer = tracer_of(grid.net)
+    tracer.enabled = tracing
+    env, net = grid.env, grid.net
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        grid.settle(6.0)
+        exerter = Exerter(Host(net, "client"))
+
+        def gen():
+            for _ in range(rounds):
+                task = Task("avg", Signature(SENSOR_DATA_ACCESSOR, "getValue",
+                                             service_id=grid.root.service_id),
+                            ServiceContext())
+                result = yield env.process(exerter.exert(task))
+                assert result.is_done, result.exceptions
+
+        env.run(until=env.process(gen()))
+        return time.perf_counter() - started, len(tracer)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def test_tracing_overhead_under_five_percent(benchmark, report):
+    """E-OBS — always-on tracing must cost <= 5% wall clock.
+
+    Many short interleaved runs, compared by the mean of each mode's
+    fastest half. The on/off order alternates between pairs so neither
+    mode systematically rides the colder machine state; short runs fit
+    inside clean CPU-quota windows on a throttled host, and dropping each
+    mode's slowest half discards exactly the runs a throttle pause or
+    scheduler eviction inflated — noise that only ever adds time.
+    """
+    n, rounds, repeats = 16, 15, 36
+
+    def fastest_half_mean(samples):
+        best = sorted(samples)[:max(1, len(samples) // 2)]
+        return sum(best) / len(best)
+
+    def run_all():
+        on, off, spans = [], [], 0
+        for pair in range(repeats):
+            modes = (True, False) if pair % 2 == 0 else (False, True)
+            for tracing in modes:
+                seconds, count = _timed_collect_run(n, tracing=tracing,
+                                                    rounds=rounds)
+                if tracing:
+                    on.append(seconds)
+                    spans = count
+                else:
+                    off.append(seconds)
+                    assert count == 0  # disabled tracer records nothing
+        return fastest_half_mean(on), fastest_half_mean(off), spans
+
+    enabled, disabled, spans = benchmark.pedantic(run_all, rounds=1,
+                                                  iterations=1)
+    overhead = enabled / disabled - 1.0
+    report(render_table(
+        ["metric", "value"],
+        [["fleet size", n],
+         ["spans per traced run", spans],
+         ["wall clock, tracing on (s)", enabled],
+         ["wall clock, tracing off (s)", disabled],
+         ["overhead", overhead]],
+        title="E-OBS — wall-clock cost of always-on exertion tracing"))
+    assert spans > 100  # the traced runs actually recorded the workload
+    assert overhead <= 0.05, \
+        f"tracing costs {overhead:.1%} wall clock (budget: 5%)"

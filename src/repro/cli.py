@@ -57,6 +57,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("admin",
                    help="registry admin view: registrations + leases")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run the six-step experiment and print its span trees")
+    trace.add_argument("--all", action="store_true", dest="show_all",
+                       help="include infrastructure traces (lookups, lease "
+                            "renewals), not just exertion-rooted trees")
+    trace.add_argument("--no-annotations", action="store_true",
+                       help="hide span annotations (retries, breaker events)")
+    trace.add_argument("--metrics", action="store_true",
+                       help="also print the metrics registry table")
+    trace.add_argument("--out", metavar="PATH",
+                       help="dump the trace + metrics as JSON lines to PATH")
     return parser
 
 
@@ -179,6 +192,35 @@ def cmd_admin(args, out) -> int:
     return 0
 
 
+def cmd_trace(args, out) -> int:
+    from .observability import (
+        dump_jsonl,
+        metrics_registry,
+        render_span_tree,
+        tracer_of,
+    )
+    lab = _lab(args.seed)
+    _run_six_steps(lab)
+    tracer = tracer_of(lab.net)
+    registry = metrics_registry(lab.net)
+    roots = tracer.roots()
+    if not args.show_all:
+        # Infrastructure chatter (lookup registrations, lease renewals)
+        # roots hundreds of tiny trees; default to the exertion traffic.
+        roots = [root for root in roots if root.kind in ("exert", "serve")]
+    out.write(f"{len(tracer)} spans recorded, showing {len(roots)} "
+              f"tree(s) (t={lab.env.now:.1f}s simulated)\n\n")
+    out.write(render_span_tree(tracer, roots,
+                               annotations=not args.no_annotations) + "\n")
+    if args.metrics:
+        from .metrics import render_metrics
+        out.write("\n" + render_metrics(registry.snapshot()) + "\n")
+    if args.out:
+        lines = dump_jsonl(args.out, tracer, registry)
+        out.write(f"\nwrote {lines} JSON lines to {args.out}\n")
+    return 0
+
+
 _COMMANDS = {
     "inventory": cmd_inventory,
     "experiment": cmd_experiment,
@@ -188,6 +230,7 @@ _COMMANDS = {
     "traffic": cmd_traffic,
     "watch": cmd_watch,
     "admin": cmd_admin,
+    "trace": cmd_trace,
 }
 
 

@@ -24,6 +24,7 @@ from typing import Optional
 from ..expr import Expression, ExprError
 from ..jini.entries import SensorType
 from ..net.host import Host
+from ..observability import propagate_trace
 from ..resilience import DEADLINE_PATH, Deadline, resilience_events
 from ..sensors.probe import Reading
 from ..sorcer.context import ServiceContext
@@ -180,9 +181,13 @@ class CompositeSensorProvider(ServiceProvider):
     # -- value aggregation ----------------------------------------------------------
 
     def _child_task(self, child: _Child, visited: list,
-                    deadline: Optional[Deadline]) -> Task:
+                    deadline: Optional[Deadline],
+                    parent_ctx: Optional[ServiceContext] = None) -> Task:
         ctx = ServiceContext(f"{self.name}->{child.display_name}")
         ctx.put_value(VISITED_PATH, list(visited))
+        if parent_ctx is not None:
+            # Child collection hops become children of this CSP's serve span.
+            propagate_trace(parent_ctx, ctx)
         task = Task(f"collect-{child.display_name}",
                     Signature(SENSOR_DATA_ACCESSOR, OP_GET_VALUE,
                               service_id=child.service_id), ctx)
@@ -198,13 +203,14 @@ class CompositeSensorProvider(ServiceProvider):
                 self.child_timeout, now)
         return task
 
-    def _collect(self, visited: list, deadline: Optional[Deadline] = None):
+    def _collect(self, visited: list, deadline: Optional[Deadline] = None,
+                 parent_ctx: Optional[ServiceContext] = None):
         """Collect child values; returns ({variable: value}, stale-notes).
         Generator. Under ``fault_policy="degraded"`` an unreachable child's
         binding is served from ``last_known_good`` when fresh enough."""
         if not self.children:
             raise CompositionError(f"{self.name!r} has no composed services")
-        tasks = [self._child_task(child, visited, deadline)
+        tasks = [self._child_task(child, visited, deadline, parent_ctx)
                  for child in self.children]
         if self.strategy is Strategy.PARALLEL:
             procs = [self.env.process(self.exerter.exert(task),
@@ -266,7 +272,8 @@ class CompositeSensorProvider(ServiceProvider):
         visited.append(self.service_id)
         expires_at = ctx.get_value(DEADLINE_PATH, None)
         deadline = Deadline(float(expires_at)) if expires_at is not None else None
-        bindings, stale = yield from self._collect(visited, deadline)
+        bindings, stale = yield from self._collect(visited, deadline,
+                                                   parent_ctx=ctx)
         if self.expression is not None:
             value = self.expression.evaluate(bindings)
         else:

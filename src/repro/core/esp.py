@@ -16,6 +16,7 @@ from ..jini.entries import Location, SensorType
 from ..jini.lease import Landlord
 from ..net.host import Host
 from ..net.rpc import RemoteRef
+from ..observability import metrics_registry
 from ..resilience import DEADLINE_PATH, Deadline
 from ..sensors.buffer import ReadingBuffer
 from ..sensors.probe import ProbeError, Reading, SensorProbe
@@ -66,6 +67,14 @@ class ElementarySensorProvider(ServiceProvider):
         self._sub_landlord = Landlord(host.env, max_duration=600.0,
                                       on_expire=self._drop_subscription)
         self.events_pushed = 0
+        registry = metrics_registry(host.network)
+        self._m_samples = registry.counter("esp.samples", provider=name)
+        self._m_sample_errors = registry.counter("esp.sample_errors",
+                                                 provider=name)
+        self._m_buffer_depth = registry.gauge("esp.buffer_depth",
+                                              provider=name)
+        self._m_events_pushed = registry.counter("esp.events_pushed",
+                                                 provider=name)
         self.add_operation(OP_GET_VALUE, self._op_get_value)
         self.add_operation(OP_GET_READING, self._op_get_reading)
         self.add_operation(OP_GET_INFO, self._op_get_info)
@@ -99,9 +108,12 @@ class ElementarySensorProvider(ServiceProvider):
                 try:
                     reading = yield self.env.process(self.probe.read())
                     self.buffer.append(reading)
+                    self._m_samples.inc()
+                    self._m_buffer_depth.set(len(self.buffer))
                     self._publish(reading)
                 except ProbeError:
                     self.sample_errors += 1
+                    self._m_sample_errors.inc()
             yield self.env.timeout(self.sample_interval)
 
     # -- push subscriptions (§II.5 on-the-fly data) ----------------------------------
@@ -128,6 +140,7 @@ class ElementarySensorProvider(ServiceProvider):
             yield self._endpoint.call(listener, "notify", event,
                                       kind="sensor-event", timeout=3.0)
             self.events_pushed += 1
+            self._m_events_pushed.inc()
         except Exception:
             pass  # unreachable subscriber: its lease will lapse
 

@@ -28,6 +28,7 @@ from typing import Optional
 from ..jini.entries import Name, SensorType
 from ..jini.template import ServiceItem, ServiceTemplate
 from ..net.host import Host
+from ..observability import propagate_trace
 from ..resilience import Deadline
 from ..sorcer.context import ServiceContext
 from ..sorcer.exerter import Exerter
@@ -110,8 +111,13 @@ class SensorcerFacade(ServiceProvider):
     #: the compounded sum of its per-attempt timeouts.
     MGMT_BUDGET = 12.0
 
-    def _exert_on(self, item: ServiceItem, selector: str, args: dict):
+    def _exert_on(self, item: ServiceItem, selector: str, args: dict,
+                  parent_ctx: Optional[ServiceContext] = None):
         ctx = ServiceContext(f"facade->{selector}")
+        if parent_ctx is not None:
+            # Management hops become children of the facade's serve span;
+            # the healing loop passes no context, so its hops root traces.
+            propagate_trace(parent_ctx, ctx)
         for key, value in args.items():
             ctx.put_in_value(f"arg/{key}", value)
         task = Task(f"facade-{selector}",
@@ -154,13 +160,15 @@ class SensorcerFacade(ServiceProvider):
     def _op_get_value(self, ctx):
         name = ctx.get_value("arg/name")
         item = yield from self._find_sensor(name)
-        value = yield from self._exert_on(item, OP_GET_VALUE, {})
+        value = yield from self._exert_on(item, OP_GET_VALUE, {},
+                                          parent_ctx=ctx)
         return value
 
     def _op_get_sensor_info(self, ctx):
         name = ctx.get_value("arg/name")
         item = yield from self._find_sensor(name)
-        info = yield from self._exert_on(item, OP_GET_INFO, {})
+        info = yield from self._exert_on(item, OP_GET_INFO, {},
+                                         parent_ctx=ctx)
         return info
 
     def _op_get_values(self, ctx):
@@ -172,7 +180,8 @@ class SensorcerFacade(ServiceProvider):
         def one(name):
             try:
                 item = yield from self._find_sensor(name)
-                value = yield from self._exert_on(item, OP_GET_VALUE, {})
+                value = yield from self._exert_on(item, OP_GET_VALUE, {},
+                                                  parent_ctx=ctx)
                 return value
             except FacadeError:
                 return None
@@ -188,7 +197,8 @@ class SensorcerFacade(ServiceProvider):
         window = ctx.get_value("arg/window", None)
         item = yield from self._find_sensor(name)
         args = {} if window is None else {"window": window}
-        stats = yield from self._exert_on(item, OP_GET_STATS, args)
+        stats = yield from self._exert_on(item, OP_GET_STATS, args,
+                                          parent_ctx=ctx)
         return stats
 
     def _op_compose_service(self, ctx):
@@ -205,7 +215,8 @@ class SensorcerFacade(ServiceProvider):
             self._track(child)
             variable = yield from self._exert_on(
                 composite, OP_ADD_SERVICE,
-                {"service_id": child.service_id, "name": child_name})
+                {"service_id": child.service_id, "name": child_name},
+                parent_ctx=ctx)
             self.manager.compose(composite.service_id, child.service_id)
             assigned[child_name] = variable
         return assigned
@@ -217,7 +228,8 @@ class SensorcerFacade(ServiceProvider):
         composite = yield from self._find_sensor(composite_name)
         child = yield from self._find_sensor(child_name)
         yield from self._exert_on(composite, OP_REMOVE_SERVICE,
-                                  {"service_id": child.service_id})
+                                  {"service_id": child.service_id},
+                                  parent_ctx=ctx)
         try:
             self.manager.decompose(composite.service_id, child.service_id)
         except Exception:
@@ -229,7 +241,8 @@ class SensorcerFacade(ServiceProvider):
         expression = ctx.get_value("arg/expression")
         item = yield from self._find_sensor(name)
         yield from self._exert_on(item, OP_SET_EXPRESSION,
-                                  {"expression": expression})
+                                  {"expression": expression},
+                                  parent_ctx=ctx)
         return True
 
     def _op_create_service(self, ctx):
@@ -261,14 +274,16 @@ class SensorcerFacade(ServiceProvider):
         for service_id in ordered:
             name = self.manager.name_of(service_id)
             item = yield from self._find_sensor(name)
-            info = yield from self._exert_on(item, OP_GET_INFO, {})
+            info = yield from self._exert_on(item, OP_GET_INFO, {},
+                                             parent_ctx=ctx)
             plan.add(name, info.get("contained_services") or (),
                      info.get("expression"))
         return plan
 
     def _op_apply_network_plan(self, ctx):
         plan = ctx.get_value("arg/plan")
-        actions = yield from self._apply_plan(plan, strict=True)
+        actions = yield from self._apply_plan(plan, strict=True,
+                                              parent_ctx=ctx)
         return actions
 
     def _op_enable_self_healing(self, ctx):
@@ -297,20 +312,23 @@ class SensorcerFacade(ServiceProvider):
             except Exception:
                 continue
 
-    def _apply_plan(self, plan: CompositionPlan, strict: bool):
+    def _apply_plan(self, plan: CompositionPlan, strict: bool,
+                    parent_ctx: Optional[ServiceContext] = None):
         applied = 0
         for entry in plan.entries:
             try:
-                applied += yield from self._apply_entry(entry)
+                applied += yield from self._apply_entry(entry, parent_ctx)
             except FacadeError:
                 if strict:
                     raise
         return applied
 
-    def _apply_entry(self, entry: PlanEntry):
+    def _apply_entry(self, entry: PlanEntry,
+                     parent_ctx: Optional[ServiceContext] = None):
         composite = yield from self._find_sensor(entry.composite)
         self._track(composite)
-        listed = yield from self._exert_on(composite, OP_LIST_SERVICES, {})
+        listed = yield from self._exert_on(composite, OP_LIST_SERVICES, {},
+                                           parent_ctx=parent_ctx)
         current = [record["name"] for record in listed]
         wanted = list(entry.children)
         if current != wanted[:len(current)]:
@@ -324,16 +342,19 @@ class SensorcerFacade(ServiceProvider):
             self._track(child)
             yield from self._exert_on(
                 composite, OP_ADD_SERVICE,
-                {"service_id": child.service_id, "name": child_name})
+                {"service_id": child.service_id, "name": child_name},
+                parent_ctx=parent_ctx)
             try:
                 self.manager.compose(composite.service_id, child.service_id)
             except Exception:
                 pass
             actions += 1
         if entry.expression is not None:
-            info = yield from self._exert_on(composite, OP_GET_INFO, {})
+            info = yield from self._exert_on(composite, OP_GET_INFO, {},
+                                             parent_ctx=parent_ctx)
             if info.get("expression") != entry.expression:
                 yield from self._exert_on(composite, OP_SET_EXPRESSION,
-                                          {"expression": entry.expression})
+                                          {"expression": entry.expression},
+                                          parent_ctx=parent_ctx)
                 actions += 1
         return actions

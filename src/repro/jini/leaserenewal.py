@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from ..net.errors import NetworkError, RemoteError
 from ..net.host import Host
 from ..net.rpc import RemoteRef, rpc_endpoint
+from ..observability import metrics_registry
 from ..resilience import RetryPolicy, backoff_rng, resilience_events
 from .lease import Lease
 
@@ -52,6 +53,9 @@ class LeaseRenewalService:
         self._sets: dict[str, list[_ManagedLease]] = {}
         self.check_interval = check_interval
         self.events = resilience_events(host.network)
+        registry = metrics_registry(host.network)
+        self._m_renewed = registry.counter("lease.renewed", host=host.name)
+        self._m_lost = registry.counter("lease.lost", host=host.name)
         self._rng = backoff_rng(host.name, salt=2)
         self.ref = self._endpoint.export(self, f"norm:{host.name}",
                                          methods=self.REMOTE_METHODS)
@@ -107,13 +111,16 @@ class LeaseRenewalService:
                     managed.grantor, "renew_lease", managed.lease.lease_id,
                     managed.renew_duration, timeout=3.0)
                 failures = 0
+                self._m_renewed.inc()
             except RemoteError:
                 # The grantor answered and refused: the lease is truly gone.
                 managed.alive = False
+                self._m_lost.inc()
                 self.events.emit("lease_lost", lease=managed.lease.lease_id)
             except NetworkError:
                 failures += 1
                 if managed.lease.remaining(self.env.now) <= 0:
                     managed.alive = False  # expired while unreachable
+                    self._m_lost.inc()
                     self.events.emit("lease_lost",
                                      lease=managed.lease.lease_id)

@@ -1,6 +1,7 @@
 """Measurement recording and result-table rendering for experiments."""
 
 from .recorder import Recorder
-from .table import format_value, render_table, render_traffic
+from .table import format_value, render_metrics, render_table, render_traffic
 
-__all__ = ["Recorder", "format_value", "render_table", "render_traffic"]
+__all__ = ["Recorder", "format_value", "render_metrics", "render_table",
+           "render_traffic"]

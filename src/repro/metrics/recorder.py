@@ -41,10 +41,13 @@ class Recorder:
     # -- reading ----------------------------------------------------------------
 
     def counter(self, name: str) -> float:
-        return self._counters[name]
+        # .get, not subscription: reading an unknown counter on the
+        # defaultdict would insert the key and silently change the
+        # recorder's ``==``-comparability (trace-based tests rely on it).
+        return self._counters.get(name, 0.0)
 
     def samples(self, name: str) -> list[float]:
-        return list(self._series[name])
+        return list(self._series.get(name, ()))
 
     def events(self, name: Optional[str] = None) -> list[tuple]:
         """The event trace, optionally filtered by event name."""

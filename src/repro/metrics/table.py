@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-__all__ = ["render_table", "format_value", "render_traffic"]
+__all__ = ["render_table", "format_value", "render_traffic", "render_metrics"]
 
 
 def format_value(value) -> str:
@@ -51,6 +51,34 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence],
     for row in rendered_rows:
         lines.append(fmt_row(row))
     return "\n".join(lines)
+
+
+def render_metrics(snapshot: dict, title: str = "Metrics") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` mapping as a table.
+
+    Takes the plain snapshot dict (not the registry) so this module stays
+    free of observability imports. Counters/gauges show their value;
+    histograms show count, mean and the p95 bucket bound.
+    """
+    rows = []
+    for name, entry in snapshot.items():
+        kind, data = entry["type"], entry["data"]
+        if kind == "counter":
+            rows.append([name, kind, data, None, None])
+        elif kind == "gauge":
+            rows.append([name, kind, data["value"], data["max"], None])
+        else:  # histogram
+            mean = data["total"] / data["count"] if data["count"] else None
+            seen, p95 = 0, None
+            for index, n in enumerate(data["counts"]):
+                seen += n
+                if data["count"] and seen >= 0.95 * data["count"]:
+                    p95 = (data["buckets"][index]
+                           if index < len(data["buckets"]) else float("inf"))
+                    break
+            rows.append([name, kind, data["count"], mean, p95])
+    return render_table(["metric", "type", "value/count", "mean/max", "p95<="],
+                        rows, title=title)
 
 
 def render_traffic(stats, title: str = "Network traffic by message kind") -> str:

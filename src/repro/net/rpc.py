@@ -23,6 +23,9 @@ from dataclasses import dataclass
 from itertools import count
 from typing import Any, Iterable, Optional
 
+from ..observability.registry import metrics_registry
+from ..observability.span import NULL_SPAN
+from ..observability.tracer import tracer_of
 from ..sim import Event
 from .errors import NoSuchObjectError, RemoteError, RpcTimeout
 from .host import Host
@@ -79,10 +82,14 @@ def _remote_type_names(obj: Any) -> tuple:
 
 
 class _PendingCall:
-    def __init__(self, event: Event, started_at: float, timer: Event):
+    __slots__ = ("event", "started_at", "timer", "span")
+
+    def __init__(self, event: Event, started_at: float, timer: Event,
+                 span=NULL_SPAN):
         self.event = event
         self.started_at = started_at
         self.timer = timer
+        self.span = span
 
 
 class RpcEndpoint:
@@ -95,6 +102,11 @@ class RpcEndpoint:
         self._allowed: dict[str, Optional[frozenset]] = {}
         self._pending: dict[int, _PendingCall] = {}
         self._request_ids = count(1)
+        self._tracer = tracer_of(host.network)
+        registry = metrics_registry(host.network)
+        self._m_calls = registry.counter("rpc.calls", host=host.name)
+        self._m_timeouts = registry.counter("rpc.timeouts", host=host.name)
+        self._m_rtt = registry.histogram("rpc.rtt", host=host.name)
         host.open_port(REQUEST_PORT, self._on_request)
         host.open_port(REPLY_PORT, self._on_reply)
         host.on_fail(self._on_host_fail)
@@ -165,19 +177,37 @@ class RpcEndpoint:
 
     def call(self, ref: RemoteRef, method: str, *args,
              timeout: float = DEFAULT_TIMEOUT, kind: str = "rpc-request",
-             **kwargs) -> Event:
+             trace_parent: Optional[int] = None, **kwargs) -> Event:
         """Invoke ``method`` on the remote object; returns an event that
         triggers with the result, or fails with :class:`RpcTimeout` /
-        :class:`RemoteError`."""
+        :class:`RemoteError`.
+
+        ``trace_parent`` links the call's client-side span (request sent →
+        reply received / timed out) under the caller's span; it is consumed
+        here, never forwarded to the remote method. Calls with *no* parent
+        are infrastructure chatter (registration, lease renewal, lookup
+        polling) rather than exertion hops: they are counted in the
+        ``rpc.calls`` metrics but not traced, which keeps traces focused on
+        federated requests and bounds span growth in long runs.
+        """
         event = self.env.event()
         request_id = next(self._request_ids)
+        self._m_calls.inc()
+        if trace_parent is not None:
+            span = self._tracer.start_span(f"rpc:{method}", kind="rpc",
+                                           host=self.host.name,
+                                           parent_id=trace_parent,
+                                           peer=ref.host, msg_kind=kind)
+        else:
+            span = NULL_SPAN
         # The watchdog is a bare Timeout with a callback — not a process.
         # A process per call would stay alive until the full timeout even
         # after the reply arrives (generator + pending-event bookkeeping per
         # in-flight *and completed* call), which bloats the event queue in
         # large-grid runs. The callback is neutralized on reply instead.
         timer = self.env.timeout(timeout)
-        self._pending[request_id] = _PendingCall(event, self.env.now, timer)
+        self._pending[request_id] = _PendingCall(event, self.env.now, timer,
+                                                 span)
         payload = (request_id, self.host.name, ref.object_id, method, args, kwargs)
         try:
             self.host.send(ref.host, REQUEST_PORT, kind=kind,
@@ -185,6 +215,7 @@ class RpcEndpoint:
         except Exception as exc:
             self._pending.pop(request_id, None)
             timer.callbacks.clear()
+            span.end("send_failed")
             event.fail(exc)
             return event
         timer.callbacks.append(lambda _ev: self._expire(request_id, timeout))
@@ -193,6 +224,8 @@ class RpcEndpoint:
     def _expire(self, request_id: int, timeout: float) -> None:
         pending = self._pending.pop(request_id, None)
         if pending is not None and not pending.event.triggered:
+            self._m_timeouts.inc()
+            pending.span.end("timeout")
             pending.event.fail(RpcTimeout(
                 f"no reply for request {request_id} within {timeout}s"))
 
@@ -205,6 +238,8 @@ class RpcEndpoint:
         # binary heap is O(n)) but the callback and its closure are dropped.
         if pending.timer.callbacks is not None:
             pending.timer.callbacks.clear()
+        self._m_rtt.observe(self.env.now - pending.started_at)
+        pending.span.end("ok" if ok else "remote_error")
         if ok:
             pending.event.succeed(value)
         else:

@@ -1,0 +1,220 @@
+"""Metrics registry — named counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` exists per network (via
+:func:`metrics_registry`), replacing ad-hoc ``Recorder.count`` call sites
+with a single namespace the whole run shares: exertion latency, RPC round
+trips, retries, breaker transitions, lease renewals, provider load and
+buffer depths all land here under stable names with optional labels
+(``rpc.calls{host=facade-host}``).
+
+Design constraints, in order:
+
+* **determinism** — a snapshot is a plain sorted dict; two identically
+  seeded runs produce byte-identical snapshots;
+* **hot-path cheapness** — instrumented components look their instruments
+  up once and keep the handle (``self._m_calls = registry.counter(...)``);
+  recording is then an attribute increment;
+* **renderability** — a snapshot feeds both
+  :func:`repro.metrics.table.render_metrics` (operator tables) and
+  :meth:`MetricsRegistry.to_recorder` (the existing benchmark Recorder).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "metrics_registry", "DEFAULT_LATENCY_BUCKETS"]
+
+#: Upper bucket bounds (seconds) suiting both RPC round trips and whole
+#: exertions on the simulated LAN; the implicit +inf bucket is always last.
+DEFAULT_LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
+
+
+def _key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing named value."""
+
+    __slots__ = ("name", "value")
+    metric_type = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, in-flight requests)."""
+
+    __slots__ = ("name", "value", "max_value")
+    metric_type = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        #: High-water mark, for "how deep did the queue ever get" questions.
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if self.value > self.max_value:
+            self.max_value = self.value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self):
+        return {"value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts, like Prometheus).
+
+    ``buckets`` are upper bounds; an implicit +inf bucket catches the rest.
+    Fixed buckets keep recording O(log B) and snapshots comparable across
+    runs regardless of sample order.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total")
+    metric_type = "histogram"
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or sorted(bounds) != list(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name!r} needs strictly increasing buckets")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot = +inf
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.buckets[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bound of the bucket holding the q-quantile sample."""
+        if not self.count:
+            return None
+        target = q * self.count
+        seen = 0
+        for index, n in enumerate(self.counts):
+            seen += n
+            if seen >= target:
+                return (self.buckets[index] if index < len(self.buckets)
+                        else float("inf"))
+        return float("inf")
+
+    def snapshot(self):
+        return {"count": self.count, "total": self.total,
+                "buckets": list(self.buckets), "counts": list(self.counts)}
+
+
+class MetricsRegistry:
+    """All instruments of one simulation run, keyed by name + labels."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, labels: dict, **kwargs):
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(key, **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"{key!r} is already registered as {metric.metric_type}, "
+                f"not {cls.metric_type}")
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # -- reading --------------------------------------------------------------
+
+    def value(self, name: str, **labels) -> float:
+        """A counter/gauge's current value *without* creating the metric
+        (querying an unknown name must not change the registry)."""
+        metric = self._metrics.get(_key(name, labels))
+        if metric is None:
+            return 0.0
+        if isinstance(metric, Histogram):
+            return float(metric.count)
+        return metric.value
+
+    def names(self, prefix: str = "") -> list[str]:
+        return sorted(k for k in self._metrics if k.startswith(prefix))
+
+    def snapshot(self, prefix: str = "") -> dict:
+        """Deterministic (sorted) dump of every instrument's state."""
+        return {key: {"type": self._metrics[key].metric_type,
+                      "data": self._metrics[key].snapshot()}
+                for key in self.names(prefix)}
+
+    def to_recorder(self, recorder=None):
+        """Fold the registry into a :class:`~repro.metrics.Recorder` so the
+        existing benchmark/table tooling keeps working: counters and gauges
+        become Recorder counters, histogram means become samples."""
+        from ..metrics.recorder import Recorder
+        recorder = recorder if recorder is not None else Recorder()
+        for key in self.names():
+            metric = self._metrics[key]
+            if isinstance(metric, Histogram):
+                recorder.count(key, metric.count)
+            else:
+                recorder.count(key, metric.value)
+        return recorder
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._metrics
+
+
+def metrics_registry(network) -> MetricsRegistry:
+    """The network's shared metrics registry (created on first use)."""
+    registry = getattr(network, "_metrics_registry", None)
+    if registry is None:
+        registry = MetricsRegistry()
+        network._metrics_registry = registry
+    return registry

@@ -2,10 +2,12 @@
 
 Every resilience decision (retry scheduled, breaker opened/half-open/closed,
 stale substitution, deadline exceeded, lease renewal retried) is emitted
-here, landing in a :class:`~repro.metrics.Recorder` as both a counter
-(``resilience.<kind>``) and a timestamped event-trace entry. Benchmarks
-assert on the counters; determinism tests compare whole traces; the browser
-can render the trace as a timeline.
+here. Counters land in the run's shared
+:class:`~repro.observability.MetricsRegistry` (``resilience.<kind>``);
+the timestamped event trace stays in a :class:`~repro.metrics.Recorder`
+so whole traces still compare with plain ``==``. Benchmarks assert on the
+counters; determinism tests compare whole traces; the browser can render
+the trace as a timeline.
 
 One stream exists per :class:`~repro.net.network.Network` (lazily created,
 like per-host RPC endpoints) so every component in a run — exerters on any
@@ -17,24 +19,27 @@ from __future__ import annotations
 from typing import Optional
 
 from ..metrics.recorder import Recorder
+from ..observability.registry import MetricsRegistry
 from ..sim import Environment
 
 __all__ = ["ResilienceEvents", "resilience_events"]
 
 
 class ResilienceEvents:
-    """Clock-stamped emitter over a :class:`Recorder`."""
+    """Clock-stamped emitter over a :class:`Recorder` + metrics registry."""
 
-    def __init__(self, env: Environment, recorder: Optional[Recorder] = None):
+    def __init__(self, env: Environment, recorder: Optional[Recorder] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.env = env
         self.recorder = recorder if recorder is not None else Recorder()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def emit(self, kind: str, **fields) -> None:
-        self.recorder.count(f"resilience.{kind}")
+        self.metrics.counter(f"resilience.{kind}").inc()
         self.recorder.event(kind, self.env.now, **fields)
 
     def count(self, kind: str) -> float:
-        return self.recorder.counter(f"resilience.{kind}")
+        return self.metrics.value(f"resilience.{kind}")
 
     @property
     def trace(self) -> list:
@@ -43,9 +48,12 @@ class ResilienceEvents:
 
 
 def resilience_events(network) -> ResilienceEvents:
-    """The network's shared resilience event stream (created on first use)."""
+    """The network's shared resilience event stream (created on first use),
+    counting into the network's shared metrics registry."""
     events = getattr(network, "_resilience_events", None)
     if events is None:
-        events = ResilienceEvents(network.env)
+        from ..observability.registry import metrics_registry
+        events = ResilienceEvents(network.env,
+                                  metrics=metrics_registry(network))
         network._resilience_events = events
     return events

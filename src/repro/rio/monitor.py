@@ -22,6 +22,7 @@ from ..jini.template import ServiceItem, ServiceTemplate
 from ..net.errors import NetworkError, RemoteError
 from ..net.host import Host
 from ..net.rpc import RemoteRef, rpc_endpoint
+from ..observability import metrics_registry, tracer_of
 from ..sorcer.accessor import ServiceAccessor
 from .opstring import Deployment, OperationalString, ServiceElement
 from .selection import Candidate, LeastLoaded, SelectionPolicy
@@ -67,6 +68,15 @@ class ProvisionMonitor:
         self._lease_duration = lease_duration
         self._started = False
         self.stats = {"provisioned": 0, "released": 0, "provision_failures": 0}
+        self.tracer = tracer_of(host.network)
+        registry = metrics_registry(host.network)
+        self._m_provisioned = registry.counter("monitor.provisioned",
+                                               monitor=name)
+        self._m_released = registry.counter("monitor.released", monitor=name)
+        self._m_failures = registry.counter("monitor.provision_failures",
+                                            monitor=name)
+        #: Instances currently under management (the deployment's true size).
+        self._m_managed = registry.gauge("monitor.managed", monitor=name)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -121,7 +131,7 @@ class ProvisionMonitor:
                             yield from self._converge(opstring, element)
                         except Exception:
                             # Control must survive transient weirdness.
-                            self.stats["provision_failures"] += 1
+                            self._converge_failed()
             yield self.env.timeout(self.poll_interval)
 
     def _element_template(self, opstring: OperationalString,
@@ -162,6 +172,10 @@ class ProvisionMonitor:
         return element.instance_name(index)
 
     def _provision(self, opstring: OperationalString, element: ServiceElement):
+        # Roots its own trace: the control loop has no requestor above it.
+        span = self.tracer.start_span(
+            f"provision:{element.name}", kind="provision", host=self.host.name,
+            opstring=opstring.name)
         candidates = yield from self._eligible_cybernodes(element)
         while candidates:
             choice = self.policy.choose(candidates)
@@ -171,8 +185,10 @@ class ProvisionMonitor:
             try:
                 service_id = yield self._endpoint.call(
                     choice.ref, "instantiate", element, instance_name,
-                    opstring.name, kind="rio-instantiate", timeout=10.0)
+                    opstring.name, kind="rio-instantiate", timeout=10.0,
+                    trace_parent=span.span_id)
             except (RemoteError, NetworkError):
+                span.annotate("cybernode_failed", node=choice.node_id)
                 candidates = [c for c in candidates if c is not choice]
                 continue
             self._records[service_id] = ProvisionRecord(
@@ -180,9 +196,19 @@ class ProvisionMonitor:
                 element=element.name, instance_name=instance_name,
                 cybernode=choice.ref, provisioned_at=self.env.now)
             self.stats["provisioned"] += 1
+            self._m_provisioned.inc()
+            self._m_managed.set(len(self._records))
+            span.set_attribute("instance", instance_name)
+            span.end("ok")
             return True
         self.stats["provision_failures"] += 1
+        self._m_failures.inc()
+        span.end("failed")
         return False
+
+    def _converge_failed(self) -> None:
+        self.stats["provision_failures"] += 1
+        self._m_failures.inc()
 
     def _release(self, record: ProvisionRecord):
         try:
@@ -193,6 +219,8 @@ class ProvisionMonitor:
             pass
         self._records.pop(record.service_id, None)
         self.stats["released"] += 1
+        self._m_released.inc()
+        self._m_managed.set(len(self._records))
 
     def _eligible_cybernodes(self, element: ServiceElement):
         items = yield from self.accessor.find_items(

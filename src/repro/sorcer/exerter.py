@@ -28,6 +28,13 @@ from typing import Callable, Optional
 from ..net.errors import HostDownError, NetworkError, RpcTimeout, UnreachableError
 from ..net.host import Host
 from ..net.rpc import rpc_endpoint
+from ..observability import (
+    NULL_SPAN,
+    get_trace_parent,
+    metrics_registry,
+    set_trace_parent,
+    tracer_of,
+)
 from ..resilience import (
     DEADLINE_PATH,
     CircuitOpenError,
@@ -72,6 +79,11 @@ class Exerter:
         #: Per-provider circuit breakers, shared host-wide via the accessor.
         self.breakers = self.accessor.breakers
         self.events = resilience_events(host.network)
+        self.tracer = tracer_of(host.network)
+        registry = metrics_registry(host.network)
+        self._m_latency = registry.histogram("exertion.latency", host=host.name)
+        self._m_retries = registry.counter("exertion.retries", host=host.name)
+        self._m_failures = registry.counter("exertion.failures", host=host.name)
         #: Stable jitter stream: independent of all other RNGs in the run.
         self._rng = backoff_rng(host.name, salt=1)
         #: Rotates candidate lists so equivalent providers share the load.
@@ -82,13 +94,36 @@ class Exerter:
     def exert(self, exertion: Exertion, txn_id: Optional[int] = None):
         """Run the exertion on the network; a generator returning the
         resulting exertion (never raises for modelled failures — inspect
-        ``result.status`` / ``result.exceptions``)."""
-        if isinstance(exertion, Job):
-            result = yield from self._exert_job(exertion, txn_id)
-        elif isinstance(exertion, Task):
-            result = yield from self._exert_task(exertion, txn_id)
+        ``result.status`` / ``result.exceptions``).
+
+        Opens the requestor-side span of this hop. A parent link planted in
+        the exertion's context (by a jobber, CSP or facade running us as a
+        nested step) makes this span a child; otherwise it roots a new
+        trace. Our own span id replaces the link so the provider side and
+        the RPC layer hang underneath.
+        """
+        span = self.tracer.start_span(
+            f"exert:{exertion.name}", kind="exert", host=self.host.name,
+            parent_id=get_trace_parent(exertion.context))
+        if span.span_id is not None:
+            set_trace_parent(exertion.context, span.span_id)
+        started = self.env.now
+        try:
+            if isinstance(exertion, Job):
+                result = yield from self._exert_job(exertion, txn_id, span)
+            elif isinstance(exertion, Task):
+                result = yield from self._exert_task(exertion, txn_id, span)
+            else:
+                raise TypeError(f"cannot exert {type(exertion).__name__}")
+        except BaseException:
+            span.end("error")
+            raise
+        self._m_latency.observe(self.env.now - started)
+        if result.is_failed:
+            self._m_failures.inc()
+            span.end("failed")
         else:
-            raise TypeError(f"cannot exert {type(exertion).__name__}")
+            span.end("ok")
         return result
 
     # -- internals ------------------------------------------------------------------
@@ -98,7 +133,8 @@ class Exerter:
         exertion.report_exception(message)
         return exertion
 
-    def _acquire_candidate(self, items, attempt: int, patient: bool):
+    def _acquire_candidate(self, items, attempt: int, patient: bool,
+                           span=NULL_SPAN):
         """First candidate (in rotated order) whose breaker admits a call.
 
         Open breakers are a *latency* optimization, so they only hard-refuse
@@ -113,25 +149,30 @@ class Exerter:
             if self.breakers.try_acquire(item.service_id, self.env.now):
                 return item
             self.events.emit("breaker_skip", provider=item.service_id)
+            span.annotate("breaker_skip", provider=item.service_id)
         if not patient:
             return None
         item = items[attempt % n]
         self.events.emit("breaker_forced_probe", provider=item.service_id)
+        span.annotate("breaker_forced_probe", provider=item.service_id)
         return item
 
     def _backoff(self, policy: RetryPolicy, attempt: int,
-                 deadline: Optional[Deadline], name: str):
+                 deadline: Optional[Deadline], name: str, span=NULL_SPAN):
         """Sleep the jittered backoff delay (clamped to the deadline)."""
         delay = policy.delay(attempt, self._rng)
         if deadline is not None:
             delay = deadline.clamp(delay, self.env.now)
+        self._m_retries.inc()
         self.events.emit("retry_scheduled", exertion=name, attempt=attempt,
                          delay=round(delay, 6))
+        span.annotate("retry_scheduled", attempt=attempt,
+                      delay=round(delay, 6))
         if delay > 0:
             yield self.env.timeout(delay)
 
     def _invoke_candidates(self, exertion, items, txn_id,
-                           failure_label: str):
+                           failure_label: str, span=NULL_SPAN):
         """Shared attempt loop for tasks and jobs: breaker-aware candidate
         choice, deadline-clamped timeouts, backoff between attempts.
         Returns the provider's result or raises the last failure."""
@@ -148,12 +189,14 @@ class Exerter:
             now = self.env.now
             if deadline is not None and deadline.expired(now):
                 self.events.emit("deadline_exceeded", exertion=exertion.name)
+                span.annotate("deadline_exceeded")
                 raise last_error if last_error is not None else DeadlineExceeded(
                     f"{exertion.name!r}: budget spent before any attempt completed")
             # Cycle through candidates; with a single candidate this is a
             # plain retransmission (a lost message, not a dead provider).
             item = self._acquire_candidate(items, attempt,
-                                           patient=deadline is None)
+                                           patient=deadline is None,
+                                           span=span)
             if item is None:
                 raise CircuitOpenError(
                     f"{failure_label}: all {len(items)} candidate provider(s) "
@@ -164,7 +207,8 @@ class Exerter:
             try:
                 result = yield self._endpoint.call(
                     item.service, "service", exertion, txn_id,
-                    kind="exertion", timeout=timeout)
+                    kind="exertion", timeout=timeout,
+                    trace_parent=span.span_id)
                 self.breakers.record_success(item.service_id, self.env.now)
                 return result
             except NetworkError as exc:
@@ -173,17 +217,18 @@ class Exerter:
                     self.breakers.record_failure(item.service_id, self.env.now)
                 if attempt + 1 < attempts:
                     yield from self._backoff(policy, attempt, deadline,
-                                             exertion.name)
+                                             exertion.name, span=span)
         raise last_error if last_error is not None else RpcTimeout(
             f"{failure_label}: no attempt completed")
 
     def _exert_task(self, task: Task, txn_id: Optional[int],
-                    _fresh_lookup: bool = False):
+                    span=NULL_SPAN, _fresh_lookup: bool = False):
         signature = task.signature
         control = task.control
         deadline = control.deadline
         if deadline is not None and deadline.expired(self.env.now):
             self.events.emit("deadline_exceeded", exertion=task.name)
+            span.annotate("deadline_exceeded")
             return self._fail(task, f"deadline expired before exerting {task.name!r}")
         wait = control.provider_wait
         if deadline is not None:
@@ -194,7 +239,8 @@ class Exerter:
                 task, f"no provider for {signature} within {wait}s")
         try:
             result = yield from self._invoke_candidates(
-                task, items, txn_id, failure_label=f"task {task.name!r}")
+                task, items, txn_id, failure_label=f"task {task.name!r}",
+                span=span)
             return result
         except CircuitOpenError as exc:
             return self._fail(task, str(exc))
@@ -207,18 +253,20 @@ class Exerter:
             # Every candidate failed: the accessor's cache may be stale
             # (provider churn). Invalidate and retry once with a live lookup.
             self.accessor.invalidate(signature.template())
-            result = yield from self._exert_task(task, txn_id,
+            span.annotate("cache_invalidated")
+            result = yield from self._exert_task(task, txn_id, span,
                                                  _fresh_lookup=True)
             return result
         return self._fail(task, f"all candidate providers failed: {last_error!r}")
 
-    def _exert_job(self, job: Job, txn_id: Optional[int]):
+    def _exert_job(self, job: Job, txn_id: Optional[int], span=NULL_SPAN):
         rendezvous_type = (SPACER_TYPE if job.control.access is Access.PULL
                            else JOBBER_TYPE)
         signature = Signature(rendezvous_type, "service")
         deadline = job.control.deadline
         if deadline is not None and deadline.expired(self.env.now):
             self.events.emit("deadline_exceeded", exertion=job.name)
+            span.annotate("deadline_exceeded")
             return self._fail(job, f"deadline expired before exerting {job.name!r}")
         wait = job.control.provider_wait
         if deadline is not None:
@@ -229,7 +277,8 @@ class Exerter:
                 job, f"no {rendezvous_type} rendezvous peer on the network")
         try:
             result = yield from self._invoke_candidates(
-                job, items, txn_id, failure_label=f"job {job.name!r}")
+                job, items, txn_id, failure_label=f"job {job.name!r}",
+                span=span)
             return result
         except (CircuitOpenError, DeadlineExceeded) as exc:
             return self._fail(job, str(exc))

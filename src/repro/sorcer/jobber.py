@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..net.host import Host
+from ..observability import propagate_trace
 from .exertion import (
     Exertion,
     ExertionStatus,
@@ -58,6 +59,8 @@ class Jobber(ServiceProvider):
     def _run_sequential(self, job: Job, txn_id: Optional[int]):
         for index, component in enumerate(list(job.exertions)):
             self._apply_pipes(job, component)
+            # Component hops become children of this jobber's serve span.
+            propagate_trace(job.context, component.context)
             result = yield self.env.process(
                 self.exerter.exert(component, txn_id),
                 name=f"jobber-seq:{component.name}")
@@ -71,6 +74,8 @@ class Jobber(ServiceProvider):
                 return
 
     def _run_parallel(self, job: Job, txn_id: Optional[int]):
+        for component in job.exertions:
+            propagate_trace(job.context, component.context)
         procs = [self.env.process(self.exerter.exert(component, txn_id),
                                   name=f"jobber-par:{component.name}")
                  for component in job.exertions]

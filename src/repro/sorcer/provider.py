@@ -22,6 +22,8 @@ from ..jini.join import JoinManager
 from ..jini.template import ServiceItem
 from ..net.host import Host
 from ..net.rpc import RemoteRef, rpc_endpoint
+from ..observability import (get_trace_parent, metrics_registry,
+                             set_trace_parent, tracer_of)
 from ..sim import Resource
 from .exertion import Exertion, ExertionStatus, Task, TraceRecord
 from .security import AccessPolicy, AuthorizationError
@@ -88,6 +90,15 @@ class ServiceProvider:
         #: None = open access (the default lab configuration).
         self.access_policy = access_policy
         self.stats = {"served": 0, "failed": 0, "busy_time": 0.0}
+        self.tracer = tracer_of(host.network)
+        registry = metrics_registry(host.network)
+        self._m_served = registry.counter("provider.served", provider=name)
+        self._m_failed = registry.counter("provider.failed", provider=name)
+        #: In-flight exertions, including those queued on the concurrency
+        #: gate — the provider's instantaneous load/queue depth.
+        self._m_inflight = registry.gauge("provider.inflight", provider=name)
+        self._m_service_time = registry.histogram("provider.service_time",
+                                                  provider=name)
 
     # -- configuration -----------------------------------------------------------
 
@@ -132,8 +143,21 @@ class ServiceProvider:
     # -- the Servicer operation ---------------------------------------------------------
 
     def service(self, exertion: Exertion, txn_id: Optional[int] = None):
-        """Top-level remote operation; a generator run by the RPC layer."""
+        """Top-level remote operation; a generator run by the RPC layer.
+
+        Opens the provider-side span of the hop, parented by the
+        requestor's span id carried in the exertion context; our span id
+        replaces it so nested exertions spawned while executing (a jobber
+        running components, a CSP collecting children) parent here.
+        """
         exertion = exertion.copy()  # serialization boundary
+        span = self.tracer.start_span(
+            f"serve:{exertion.name}", kind="serve", host=self.host.name,
+            parent_id=get_trace_parent(exertion.context),
+            provider=self.name)
+        if span.span_id is not None:
+            set_trace_parent(exertion.context, span.span_id)
+        self._m_inflight.inc()
         grant = None
         if self._gate is not None:
             grant = self._gate.request()
@@ -146,17 +170,27 @@ class ServiceProvider:
             except Exception as exc:  # noqa: BLE001 - reported in the exertion
                 exertion.report_exception(exc)
                 self.stats["failed"] += 1
+                self._m_failed.inc()
                 self._trace(exertion, started, note=f"exception: {exc!r}")
+                span.annotate("exception", error=repr(exc))
+                span.end("failed")
                 return exertion
             if exertion.status is ExertionStatus.FAILED:
                 self.stats["failed"] += 1
+                self._m_failed.inc()
+                span.end("failed")
             else:
                 exertion.status = ExertionStatus.DONE
                 self.stats["served"] += 1
+                self._m_served.inc()
+                span.end("ok")
             self.stats["busy_time"] += self.env.now - started
+            self._m_service_time.observe(self.env.now - started)
             self._trace(exertion, started)
             return result if isinstance(result, Exertion) else exertion
         finally:
+            self._m_inflight.dec()
+            span.end("error")  # no-op unless an unmodelled exception escaped
             if grant is not None:
                 self._gate.release(grant)
 

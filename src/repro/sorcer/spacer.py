@@ -16,6 +16,7 @@ from typing import Optional
 from ..net.errors import NetworkError
 from ..net.host import Host
 from ..net.rpc import RemoteRef, rpc_endpoint
+from ..observability import propagate_trace
 from .accessor import ServiceAccessor
 from .exertion import Exertion, ExertionStatus, Job, Strategy, Task
 from .provider import ServiceProvider
@@ -89,6 +90,9 @@ class Spacer(ServiceProvider):
                 job.exertions[index] = component
                 return
             self._apply_pipes(job, component)
+            # The worker-side serve span parents here even though the hop
+            # goes through the space: the link rides the task's context.
+            propagate_trace(job.context, component.context)
             result = yield from self._dispatch_one(component, space_ref)
             job.exertions[index] = result
             self._collect(job, result)
@@ -102,6 +106,7 @@ class Spacer(ServiceProvider):
         for component in job.exertions:
             if not isinstance(component, Task):
                 raise TypeError("space-based dispatch supports task components only")
+            propagate_trace(job.context, component.context)
             procs.append(self.env.process(
                 self._dispatch_one(component, space_ref),
                 name=f"spacer:{component.name}"))

@@ -1,0 +1,109 @@
+"""Trace-based test assertions.
+
+Integration tests assert on the *shape* of a run — which hops happened,
+in what parent/child relation — instead of poking provider internals.
+Expected trees are written as nested tuples::
+
+    ("exert:browser-getValue", [
+        ("rpc:service", []),
+        ("serve:browser-getValue", [
+            ("exert:facade-getValue", ...),      # Ellipsis: any children
+        ]),
+    ])
+
+Names match with :mod:`fnmatch` wildcards, so ``"exert:collect-*"`` works.
+A matched span must contain every expected child, in order; actual extra
+children are tolerated (infrastructure spans come and go with timing knobs,
+the assertions pin down what *must* be there).
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+
+from repro.observability import Span, Tracer
+
+__all__ = [
+    "assert_span_tree",
+    "assert_no_orphan_spans",
+    "spans_between",
+    "tree_shape",
+]
+
+
+def _match_spec(tracer: Tracer, span: Span, spec, path: str,
+                errors: list) -> bool:
+    pattern, children = spec
+    if not fnmatchcase(span.name, pattern):
+        return False
+    if children is Ellipsis:
+        return True
+    actual = tracer.children(span)
+    cursor = 0
+    for child_spec in children:
+        found = None
+        for index in range(cursor, len(actual)):
+            if _match_spec(tracer, actual[index], child_spec,
+                           f"{path}/{span.name}", errors):
+                found = index
+                break
+        if found is None:
+            errors.append(
+                f"under {path}/{span.name}: no child matching "
+                f"{child_spec[0]!r} (after position {cursor}); actual "
+                f"children: {[c.name for c in actual]}")
+            return False
+        cursor = found + 1
+    return True
+
+
+def assert_span_tree(tracer: Tracer, spec, root: Span = None) -> Span:
+    """Assert some recorded trace tree matches ``spec``; returns its root.
+
+    With ``root`` given, that specific tree must match. Otherwise every
+    recorded root is tried and one must match.
+    """
+    if root is not None:
+        errors: list = []
+        assert _match_spec(tracer, root, spec, "", errors), \
+            f"span tree rooted at {root.name!r} does not match {spec[0]!r}: " \
+            + "; ".join(errors)
+        return root
+    roots = tracer.roots()
+    for candidate in roots:
+        if _match_spec(tracer, candidate, spec, "", []):
+            return candidate
+    raise AssertionError(
+        f"no recorded trace matches {spec[0]!r}; roots: "
+        f"{[r.name for r in roots]}")
+
+
+def assert_no_orphan_spans(tracer: Tracer) -> None:
+    """Every parent link resolves and no span ends before it starts."""
+    for span in tracer.spans:
+        if span.parent_id is not None:
+            parent = tracer.get(span.parent_id)
+            assert parent is not None, \
+                f"{span.span_id} ({span.name!r}) links to unknown parent " \
+                f"{span.parent_id!r}"
+            assert parent.started_at <= span.started_at, \
+                f"{span.span_id} ({span.name!r}) starts before its parent"
+        if span.ended_at is not None:
+            assert span.ended_at >= span.started_at, \
+                f"{span.span_id} ({span.name!r}) ends before it starts"
+
+
+def spans_between(tracer: Tracer, start: float, end: float,
+                  kind: str = None) -> list:
+    """Spans that *started* within ``[start, end]`` simulation seconds."""
+    return [span for span in tracer.spans
+            if start <= span.started_at <= end
+            and (kind is None or span.kind == kind)]
+
+
+def tree_shape(tracer: Tracer, span: Span):
+    """The tree as nested ``(name, status, [children...])`` tuples —
+    a hashable shape for determinism comparisons."""
+    return (span.name, span.status,
+            tuple(tree_shape(tracer, child)
+                  for child in tracer.children(span)))

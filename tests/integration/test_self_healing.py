@@ -16,7 +16,9 @@ import pytest
 from repro.jini import LookupService, ServiceTemplate
 from repro.jini.entries import Location
 from repro.net import FixedLatency, Host, Network
+from repro.observability import tracer_of
 from repro.resilience import BreakerState, resilience_events
+from tests.helpers.tracing import assert_no_orphan_spans, assert_span_tree
 from repro.sensors import PhysicalEnvironment, TemperatureProbe
 from repro.sim import Environment
 from repro.sorcer import Exerter, ServiceContext, Signature, Task
@@ -224,6 +226,19 @@ def test_skip_policy_survives_partition_and_heals():
     # Nothing stuck: the half-open probe succeeded and closed the breaker.
     assert breakers.state_of(esps[1].service_id) is BreakerState.CLOSED
 
+    # The whole episode is visible in the trace: the cut-off query's tree
+    # still links up (no orphan spans even across the partition), and the
+    # healed query fans out to both children again.
+    tracer = tracer_of(net)
+    assert_no_orphan_spans(tracer)
+    assert_span_tree(tracer, (
+        "exert:q-skip-healed", [
+            ("serve:q-skip-healed", [
+                ("exert:collect-P1", [("serve:collect-P1", ...)]),
+                ("exert:collect-P2", [("serve:collect-P2", ...)]),
+            ]),
+        ]))
+
 
 def test_degraded_policy_answers_through_partition_and_recovers():
     env, net, csp, esps = build_partition_grid("degraded",
@@ -250,6 +265,15 @@ def test_degraded_policy_answers_through_partition_and_recovers():
     # Fresh data again: no new substitution, no stale flag in the result.
     assert csp.stale_substitutions == substitutions_before
     assert healed.context.get_value(STALE_PATH, None) is None
+    # The unreachable child's failed collection hops were traced too: the
+    # cut-off query's tree contains a failed exert for P2.
+    tracer = tracer_of(net)
+    assert_no_orphan_spans(tracer)
+    [cut_root] = tracer.find(name="exert:q-deg-cut")
+    descendants = [s for s in tracer.spans if s.trace_id == cut_root.trace_id]
+    failed_p2 = [s for s in descendants
+                 if s.name == "exert:collect-P2" and s.status == "failed"]
+    assert failed_p2, [s.name for s in descendants]
 
 
 def test_plan_validation():

@@ -104,3 +104,35 @@ def test_render_traffic():
     assert "data" in table and "ctl" in table
     # Sorted by total bytes descending: data row above ctl row.
     assert table.index("data") < table.index("ctl")
+
+
+def test_counter_read_does_not_mutate():
+    """Regression: reading an unknown counter must not insert it.
+
+    ``_counters`` is a defaultdict; ``counter()`` subscripting it would
+    create the key as a side effect, so merely *inspecting* a recorder
+    changed its state (and broke equality-based trace comparisons).
+    """
+    rec = Recorder()
+    assert rec.counter("never.incremented") == 0.0
+    assert "never.incremented" not in rec._counters
+    # Same bug class for sample series reads.
+    assert rec.samples("never.recorded") == []
+    assert "never.recorded" not in rec._series
+    assert rec.series_names() == []
+
+
+def test_samples_returns_a_copy():
+    rec = Recorder()
+    rec.record("x", 1.0)
+    rec.samples("x").append(99.0)
+    assert rec.samples("x") == [1.0]
+
+
+def test_events_trace():
+    rec = Recorder()
+    rec.event("retry", 1.5, attempt=0)
+    rec.event("open", 2.0)
+    assert rec.events() == [(1.5, "retry", (("attempt", 0),)),
+                            (2.0, "open", ())]
+    assert rec.events("retry") == [(1.5, "retry", (("attempt", 0),))]

@@ -1,0 +1,104 @@
+"""Property: the whole observable surface is a pure function of the seed.
+
+Runs the partition/heal self-healing scenario (CSP with degraded fault
+policy losing and regaining a child) and fingerprints the run as
+(span tree shapes, metrics snapshot, JSONL export). Identical seeds must
+reproduce the fingerprint byte for byte; different seeds must not.
+"""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CompositeSensorProvider,
+    ElementarySensorProvider,
+    OP_GET_VALUE,
+    SENSOR_DATA_ACCESSOR,
+)
+from repro.jini import LookupService
+from repro.net import FixedLatency, Host, Network
+from repro.observability import (
+    metrics_registry,
+    metrics_to_jsonl,
+    trace_to_jsonl,
+    tracer_of,
+)
+from repro.sensors import PhysicalEnvironment, TemperatureProbe
+from repro.sim import Environment
+from repro.sorcer import Exerter, ServiceContext, Signature, Task
+from tests.helpers.tracing import assert_no_orphan_spans, tree_shape
+
+
+def run_partition_heal_scenario(seed: int):
+    """Two ESPs + a degraded CSP; query, partition, query, heal, query."""
+    env = Environment()
+    net = Network(env, rng=np.random.default_rng(seed),
+                  latency=FixedLatency(0.001))
+    world = PhysicalEnvironment(seed=seed)
+    LookupService(Host(net, "lus-host")).start()
+    esps = []
+    for index, location in enumerate([(0.0, 0.0), (60.0, 0.0)]):
+        name = f"P{index + 1}"
+        probe = TemperatureProbe(env, name.lower(), world, location,
+                                 rng=np.random.default_rng(seed + index))
+        esp = ElementarySensorProvider(Host(net, f"{name}-host"), name, probe,
+                                       sample_interval=1.0)
+        esp.start()
+        esps.append(esp)
+    csp = CompositeSensorProvider(Host(net, "csp-host"), "Composite",
+                                  fault_policy="degraded",
+                                  stale_max_age=120.0,
+                                  child_wait=1.0, child_timeout=1.0)
+    csp.start()
+    for esp in esps:
+        csp.add_child(esp.service_id, esp.name)
+    env.run(until=3.0)
+
+    exerter = Exerter(Host(net, "client-host"))
+
+    def query(tag):
+        task = Task(f"q-{tag}",
+                    Signature(SENSOR_DATA_ACCESSOR, OP_GET_VALUE,
+                              service_id=csp.service_id), ServiceContext())
+        task.control.retries = 1
+        task.control.invocation_timeout = 2.0
+        return env.run(until=env.process(exerter.exert(task)))
+
+    sides = (["csp-host"], ["P2-host"])
+    query("warm")
+    net.partition(*sides)
+    query("cut")
+    net.heal_partition(*sides)
+    env.run(until=env.now + 12.0)
+    query("healed")
+
+    tracer = tracer_of(net)
+    assert_no_orphan_spans(tracer)
+    shapes = tuple(tree_shape(tracer, root) for root in tracer.roots())
+    snapshot = json.dumps(metrics_registry(net).snapshot(), sort_keys=True)
+    export = trace_to_jsonl(tracer) + "\n" + metrics_to_jsonl(
+        metrics_registry(net))
+    return shapes, snapshot, export
+
+
+@settings(max_examples=4)
+@given(seed=st.integers(min_value=0, max_value=2**16 - 1))
+def test_same_seed_same_trace_and_metrics(seed):
+    first = run_partition_heal_scenario(seed)
+    second = run_partition_heal_scenario(seed)
+    assert first[0] == second[0], "span tree shapes diverged"
+    assert first[1] == second[1], "metric snapshots diverged"
+    assert first[2] == second[2], "JSONL exports are not byte-identical"
+
+
+@settings(max_examples=4)
+@given(seeds=st.lists(st.integers(min_value=0, max_value=2**16 - 1),
+                      min_size=2, max_size=2, unique=True))
+def test_different_seeds_observably_differ(seeds):
+    a = run_partition_heal_scenario(seeds[0])
+    b = run_partition_heal_scenario(seeds[1])
+    # Sensor noise and latency jitter differ, so the exports must too
+    # (tree shapes may coincide; timings and readings cannot).
+    assert a[2] != b[2]

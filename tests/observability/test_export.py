@@ -1,0 +1,84 @@
+"""JSON-lines export: format and the byte-identical determinism guarantee."""
+
+import json
+
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    dump_jsonl,
+    metrics_registry,
+    metrics_to_jsonl,
+    trace_to_jsonl,
+    tracer_of,
+)
+from repro.scenarios import build_paper_lab
+from repro.sim import Environment
+
+
+def test_trace_to_jsonl_one_sorted_line_per_span():
+    tracer = Tracer(Environment())
+    root = tracer.start_span("exert:q", kind="exert", host="h1")
+    tracer.start_span("rpc:service", kind="rpc",
+                      parent_id=root.span_id).end()
+    root.end()
+    lines = trace_to_jsonl(tracer).splitlines()
+    assert len(lines) == 2
+    records = [json.loads(line) for line in lines]
+    assert all(r["record"] == "span" for r in records)
+    assert [r["span_id"] for r in records] == [1, 2]
+    # Keys are sorted, separators compact: the byte layout is canonical.
+    assert lines[0] == json.dumps(records[0], sort_keys=True,
+                                  separators=(",", ":"))
+
+
+def test_metrics_to_jsonl_sorted_by_name():
+    registry = MetricsRegistry()
+    registry.counter("z.last").inc()
+    registry.counter("a.first").inc(2)
+    records = [json.loads(line)
+               for line in metrics_to_jsonl(registry).splitlines()]
+    assert [r["name"] for r in records] == ["a.first", "z.last"]
+    assert all(r["record"] == "metric" for r in records)
+
+
+def test_dump_jsonl_writes_both_sections(tmp_path):
+    tracer = Tracer(Environment())
+    tracer.start_span("a").end()
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    path = tmp_path / "run.jsonl"
+    lines = dump_jsonl(path, tracer, registry)
+    assert lines == 2
+    on_disk = path.read_text().splitlines()
+    assert json.loads(on_disk[0])["record"] == "span"
+    assert json.loads(on_disk[1])["record"] == "metric"
+    # An empty run writes an empty file, not a blank line.
+    empty = tmp_path / "empty.jsonl"
+    assert dump_jsonl(empty, Tracer(Environment()), MetricsRegistry()) == 0
+    assert empty.read_text() == ""
+
+
+def _paper_lab_export(seed: int) -> str:
+    """Run the six-step experiment and return its full JSONL export."""
+    lab = build_paper_lab(seed=seed)
+    lab.settle(6.0)
+    browser = lab.browser
+
+    def experiment():
+        yield from browser.compose_service(
+            "Composite-Service",
+            ["Neem-Sensor", "Jade-Sensor", "Diamond-Sensor"])
+        yield from browser.add_expression("Composite-Service", "(a + b + c)/3")
+        yield from browser.get_value("Composite-Service")
+
+    lab.env.run(until=lab.env.process(experiment()))
+    return (trace_to_jsonl(tracer_of(lab.net)) + "\n"
+            + metrics_to_jsonl(metrics_registry(lab.net)))
+
+
+def test_same_seed_exports_are_byte_identical():
+    assert _paper_lab_export(2009) == _paper_lab_export(2009)
+
+
+def test_different_seeds_export_differently():
+    assert _paper_lab_export(2009) != _paper_lab_export(2010)

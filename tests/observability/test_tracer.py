@@ -1,0 +1,135 @@
+"""Unit tests for spans and the simulation-time tracer."""
+
+import pytest
+
+from repro.observability import (
+    NULL_SPAN,
+    TRACE_PARENT_PATH,
+    Tracer,
+    propagate_trace,
+    render_span_tree,
+    tracer_of,
+)
+from repro.sim import Environment
+from repro.sorcer import ServiceContext
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(Environment())
+
+
+def test_span_ids_and_trace_ids_are_counters(tracer):
+    a = tracer.start_span("a")
+    b = tracer.start_span("b", parent_id=a.span_id)
+    c = tracer.start_span("c")
+    assert (a.span_id, b.span_id, c.span_id) == (1, 2, 3)
+    assert a.trace_id == b.trace_id == 1  # b joins a's trace
+    assert c.trace_id == 3  # a root's trace id is its own span id
+
+
+def test_parent_child_links(tracer):
+    root = tracer.start_span("root")
+    child = tracer.start_span("child", parent_id=root.span_id)
+    assert child.parent_id == root.span_id
+    assert tracer.roots() == [root]
+    assert tracer.children(root) == [child]
+    assert tracer.children(child) == []
+
+
+def test_dangling_parent_becomes_root(tracer):
+    span = tracer.start_span("lost", parent_id=999)
+    assert span.parent_id is None
+    assert tracer.roots() == [span]
+
+
+def test_span_timing_and_status(tracer):
+    env = tracer.env
+    span = tracer.start_span("work")
+    assert span.status == "open" and span.duration is None
+    env.run(until=2.5)
+    span.end("failed")
+    assert span.ended_at == 2.5 and span.duration == 2.5
+    assert span.status == "failed"
+    # end() is idempotent: the first close wins.
+    env.run(until=3.0)
+    span.end("ok")
+    assert span.ended_at == 2.5 and span.status == "failed"
+
+
+def test_annotations_are_clock_stamped_tuples(tracer):
+    span = tracer.start_span("work")
+    tracer.env.run(until=1.0)
+    span.annotate("retry_scheduled", attempt=0, delay=0.25)
+    assert span.annotations == [
+        (1.0, "retry_scheduled", (("attempt", 0), ("delay", 0.25)))]
+
+
+def test_disabled_tracer_hands_out_null_span(tracer):
+    tracer.enabled = False
+    span = tracer.start_span("ignored")
+    assert span is NULL_SPAN
+    assert span.span_id is None
+    # The whole surface no-ops.
+    span.annotate("x", a=1).set_attribute("k", "v").end("failed")
+    assert len(tracer) == 0
+
+
+def test_find_and_open_spans(tracer):
+    a = tracer.start_span("a", kind="exert")
+    b = tracer.start_span("b", kind="rpc")
+    b.end()
+    assert tracer.find(kind="exert") == [a]
+    assert tracer.find(name="b") == [b]
+    assert tracer.open_spans() == [a]
+
+
+def test_reset_restarts_id_counters(tracer):
+    tracer.start_span("a")
+    tracer.reset()
+    assert len(tracer) == 0
+    assert tracer.start_span("b").span_id == 1
+
+
+def test_tracer_of_is_a_per_network_singleton():
+    class FakeNetwork:
+        env = Environment()
+
+    net = FakeNetwork()
+    assert tracer_of(net) is tracer_of(net)
+
+
+def test_propagate_trace_copies_parent_link():
+    src, dst = ServiceContext("src"), ServiceContext("dst")
+    propagate_trace(src, dst)  # no link: no-op
+    assert dst.get_value(TRACE_PARENT_PATH, None) is None
+    src.put_value(TRACE_PARENT_PATH, 7)
+    propagate_trace(src, dst)
+    assert dst.get_value(TRACE_PARENT_PATH) == 7
+
+
+def test_render_span_tree_indents_children(tracer):
+    root = tracer.start_span("exert:q", kind="exert", host="h1")
+    tracer.start_span("rpc:service", kind="rpc", parent_id=root.span_id).end()
+    root.annotate("retry_scheduled", attempt=0)
+    root.end()
+    text = render_span_tree(tracer)
+    lines = text.splitlines()
+    assert lines[0].startswith("exert:q [exert] @h1")
+    assert any(line.startswith("  * ") and "retry_scheduled" in line
+               for line in lines)
+    assert any(line.startswith("  rpc:service [rpc]") for line in lines)
+    # Annotations can be switched off for terse output.
+    assert "retry_scheduled" not in render_span_tree(tracer,
+                                                     annotations=False)
+
+
+def test_to_dict_round_trips_all_fields(tracer):
+    span = tracer.start_span("exert:q", kind="exert", host="h1", peer="h2")
+    span.annotate("note", detail=1)
+    span.end()
+    data = span.to_dict()
+    assert data["span_id"] == 1 and data["trace_id"] == 1
+    assert data["attributes"] == {"peer": "h2"}
+    assert data["annotations"] == [
+        {"time": 0.0, "name": "note", "fields": {"detail": 1}}]

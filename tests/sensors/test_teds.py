@@ -1,0 +1,62 @@
+"""Unit tests for the IEEE-1451-style TEDS model."""
+
+import pytest
+
+from repro.sensors import TransducerTEDS
+
+
+def make_teds(**overrides):
+    base = dict(manufacturer="Acme", model="T-100", serial_number="0001",
+                version="1.0", quantity="temperature", unit="celsius",
+                min_range=-40.0, max_range=125.0, accuracy=0.5,
+                resolution=0.1)
+    base.update(overrides)
+    return TransducerTEDS(**base)
+
+
+def test_valid_teds_fields():
+    teds = make_teds()
+    assert teds.quantity == "temperature" and teds.unit == "celsius"
+
+
+def test_invalid_range_rejected():
+    with pytest.raises(ValueError):
+        make_teds(min_range=10.0, max_range=10.0)
+    with pytest.raises(ValueError):
+        make_teds(min_range=50.0, max_range=-50.0)
+
+
+def test_negative_accuracy_or_resolution_rejected():
+    with pytest.raises(ValueError):
+        make_teds(accuracy=-0.1)
+    with pytest.raises(ValueError):
+        make_teds(resolution=-0.1)
+
+
+def test_in_range_is_inclusive():
+    teds = make_teds()
+    assert teds.in_range(-40.0) and teds.in_range(125.0)
+    assert teds.in_range(0.0)
+    assert not teds.in_range(-40.001)
+    assert not teds.in_range(125.001)
+
+
+def test_clamp_to_range():
+    teds = make_teds()
+    assert teds.clamp(200.0) == 125.0
+    assert teds.clamp(-200.0) == -40.0
+    assert teds.clamp(20.5) == 20.5
+
+
+def test_quantize_rounds_to_resolution():
+    teds = make_teds(resolution=0.5)
+    assert teds.quantize(20.3) == pytest.approx(20.5)
+    assert teds.quantize(20.1) == pytest.approx(20.0)
+    # Zero resolution means a perfect (unquantized) instrument.
+    assert make_teds(resolution=0.0).quantize(20.123) == 20.123
+
+
+def test_teds_is_immutable():
+    teds = make_teds()
+    with pytest.raises(Exception):
+        teds.unit = "kelvin"
