@@ -17,6 +17,7 @@ wins for N=1 and loses for N >= ~4).
 """
 
 import gc
+import os
 import time
 
 import pytest
@@ -185,8 +186,13 @@ def test_tracing_overhead_under_five_percent(benchmark, report):
     inside clean CPU-quota windows on a throttled host, and dropping each
     mode's slowest half discards exactly the runs a throttle pause or
     scheduler eviction inflated — noise that only ever adds time.
+
+    ``REPRO_BENCH_SMOKE=1`` shrinks the comparison to a CI-sized smoke
+    run and waives only the timing budget (a shared runner cannot honour
+    it reliably); every behavioural assertion still holds.
     """
-    n, rounds, repeats = 16, 15, 36
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    n, rounds, repeats = 16, 15, (4 if smoke else 36)
 
     def fastest_half_mean(samples):
         best = sorted(samples)[:max(1, len(samples) // 2)]
@@ -219,5 +225,6 @@ def test_tracing_overhead_under_five_percent(benchmark, report):
          ["overhead", overhead]],
         title="E-OBS — wall-clock cost of always-on exertion tracing"))
     assert spans > 100  # the traced runs actually recorded the workload
-    assert overhead <= 0.05, \
-        f"tracing costs {overhead:.1%} wall clock (budget: 5%)"
+    if not smoke:
+        assert overhead <= 0.05, \
+            f"tracing costs {overhead:.1%} wall clock (budget: 5%)"

@@ -7,6 +7,8 @@ Usage (also via ``python -m repro``)::
     python -m repro value NAME  [--seed N]        # read one sensor service
     python -m repro farm        [--seed N] [--fields K] [--sensors M]
     python -m repro topology    [--seed N]        # logical network tree
+    python -m repro status      [--seed N] [--json]   # health tree
+    python -m repro health      [--seed N] [--json]   # SLOs + alerts
 
 Everything runs a fresh, seeded simulation; same seed, same output.
 """
@@ -70,6 +72,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print the metrics registry table")
     trace.add_argument("--out", metavar="PATH",
                        help="dump the trace + metrics as JSON lines to PATH")
+
+    for name, summary in (("status", "network -> node -> provider health "
+                                     "tree after the six-step experiment"),
+                          ("health", "SLO standing, alert log and status "
+                                     "transitions")):
+        cmd = sub.add_parser(name, help=summary)
+        cmd.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the canonical JSON snapshot instead")
+        cmd.add_argument("--until", type=float, default=30.0,
+                         help="simulated seconds to run before the snapshot "
+                              "(default: 30)")
+        cmd.add_argument("--quiet-lab", action="store_true",
+                         help="skip the six-step experiment, observe an "
+                              "idle lab")
     return parser
 
 
@@ -221,6 +237,38 @@ def cmd_trace(args, out) -> int:
     return 0
 
 
+def _health_snapshot(args):
+    """Deploy the lab, optionally run the six steps, settle to a fixed
+    simulation time and take one management-plane snapshot."""
+    lab = _lab(args.seed)
+    if not args.quiet_lab:
+        _run_six_steps(lab)
+    if lab.env.now < args.until:
+        lab.env.run(until=args.until)
+    return lab, lab.health.snapshot()
+
+
+def cmd_status(args, out) -> int:
+    from .observability import render_status, status_json
+    lab, snapshot = _health_snapshot(args)
+    if args.as_json:
+        out.write(status_json(snapshot, seed=args.seed))
+    else:
+        out.write(render_status(
+            snapshot, title=f"SenSORCER network (seed {args.seed})") + "\n")
+    return 0
+
+
+def cmd_health(args, out) -> int:
+    from .observability import render_health, status_json
+    lab, snapshot = _health_snapshot(args)
+    if args.as_json:
+        out.write(status_json(snapshot, seed=args.seed))
+    else:
+        out.write(render_health(snapshot) + "\n")
+    return 0
+
+
 _COMMANDS = {
     "inventory": cmd_inventory,
     "experiment": cmd_experiment,
@@ -231,6 +279,8 @@ _COMMANDS = {
     "watch": cmd_watch,
     "admin": cmd_admin,
     "trace": cmd_trace,
+    "status": cmd_status,
+    "health": cmd_health,
 }
 
 

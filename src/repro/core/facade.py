@@ -87,10 +87,18 @@ class SensorcerFacade(ServiceProvider):
         self.add_operation("applyNetworkPlan", self._op_apply_network_plan)
         self.add_operation("enableSelfHealing", self._op_enable_self_healing)
         self.add_operation("disableSelfHealing", self._op_disable_self_healing)
+        self.add_operation("networkHealth", self._op_network_health)
+        self.add_operation("subscribeHealthAlerts",
+                           self._op_subscribe_health_alerts)
         self._healing_plan: Optional[CompositionPlan] = None
         self._healing_interval = 5.0
         self._healing_proc = None
         self.healing_actions = 0
+        #: Listener refs (e.g. mailbox slots) receiving HealthEvents, and
+        #: the per-listener sequence counters Jini events carry.
+        self._health_listeners: list = []
+        self._health_sequence = 0
+        self._alerts_hooked = False
 
     # -- helpers -----------------------------------------------------------------
 
@@ -257,6 +265,52 @@ class SensorcerFacade(ServiceProvider):
 
     def _op_network_snapshot(self, ctx):
         return self.manager.snapshot()
+
+    # -- network health (management plane) ------------------------------------------
+
+    def _health(self):
+        from ..observability.health import health_monitor
+        return health_monitor(self.host.network)
+
+    def _op_network_health(self, ctx):
+        """The operator's one-call view: statuses, SLOs, alerts."""
+        return self._health().snapshot()
+
+    def _op_subscribe_health_alerts(self, ctx):
+        """Surface SLO alerts as distributed events: every firing/resolved
+        edge is pushed to ``arg/listener`` (typically a mailbox slot, so
+        offline operators still get the full alert history)."""
+        listener = ctx.get_value("arg/listener")
+        monitor = self._health()
+        if not self._alerts_hooked:
+            monitor.engine.subscribe(self._on_health_alert)
+            self._alerts_hooked = True
+        self._health_listeners.append(listener)
+        return len(monitor.engine.alerts)
+
+    def _on_health_alert(self, alert) -> None:
+        from ..jini.events import HealthEvent
+        self._health_sequence += 1
+        event = HealthEvent(
+            source=self.service_id, event_id=0,
+            sequence=self._health_sequence,
+            slo=alert.slo, state=alert.state, signal=alert.signal,
+            threshold=alert.threshold, t=alert.t,
+            description=alert.description)
+        for listener in list(self._health_listeners):
+            self.env.process(self._push_health_event(listener, event),
+                             name=f"facade-alert:{alert.slo}")
+
+    def _push_health_event(self, listener, event):
+        if not self.host.up:
+            return
+        try:
+            yield self._endpoint.call(listener, "notify", event,
+                                      kind="health-event", timeout=3.0)
+        except Exception:
+            # At-most-once Jini delivery: an unreachable listener misses
+            # the edge; its mailbox lease will eventually lapse anyway.
+            pass
 
     # -- composition plans and self-healing ----------------------------------------
 

@@ -27,6 +27,7 @@ from .entries import (
 from .events import (
     ALL_TRANSITIONS,
     EventRegistration,
+    HealthEvent,
     RemoteEvent,
     ServiceEvent,
     TRANSITION_MATCH_MATCH,
@@ -72,6 +73,7 @@ __all__ = [
     "MailboxRegistration",
     "Name",
     "PROBE_PORT",
+    "HealthEvent",
     "RemoteEvent",
     "SensorType",
     "ServiceEvent",

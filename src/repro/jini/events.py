@@ -18,6 +18,7 @@ from .lease import Lease
 __all__ = [
     "RemoteEvent",
     "ServiceEvent",
+    "HealthEvent",
     "EventRegistration",
     "TRANSITION_MATCH_NOMATCH",
     "TRANSITION_NOMATCH_MATCH",
@@ -53,6 +54,21 @@ class ServiceEvent(RemoteEvent):
     transition: int = 0
     #: Snapshot of the item after the transition (None for MATCH_NOMATCH).
     item: Any = None
+
+
+@dataclass
+class HealthEvent(RemoteEvent):
+    """An SLO alert surfaced as a distributed event (façade-sourced).
+
+    Fired on the firing/resolved edges only; ``t`` is the simulation time
+    the alert engine emitted the alert, which may precede delivery."""
+
+    slo: str = ""
+    state: str = ""          # "firing" | "resolved"
+    signal: Any = None
+    threshold: float = 0.0
+    t: float = 0.0
+    description: str = ""
 
 
 @dataclass

@@ -53,6 +53,7 @@ class _LeaseRecord:
     lease_id: int
     resource_id: Any
     expiration: float
+    duration: float = 0.0  # last granted duration (liveness baseline)
 
 
 class Landlord:
@@ -84,7 +85,8 @@ class Landlord:
         duration = self._clamp(duration)
         lease_id = self._next_id
         self._next_id += 1
-        record = _LeaseRecord(lease_id, resource_id, self.env.now + duration)
+        record = _LeaseRecord(lease_id, resource_id, self.env.now + duration,
+                              duration)
         self._leases[lease_id] = record
         return Lease(lease_id=lease_id, expiration=record.expiration,
                      duration=duration)
@@ -99,6 +101,7 @@ class Landlord:
             raise UnknownLeaseError(f"lease {lease_id} already expired")
         duration = self._clamp(duration)
         record.expiration = self.env.now + duration
+        record.duration = duration
         return Lease(lease_id=lease_id, expiration=record.expiration,
                      duration=duration)
 

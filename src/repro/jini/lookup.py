@@ -97,6 +97,14 @@ class LookupService:
         if self._started:
             return
         self._started = True
+        # Announce ourselves to the management plane: the health monitor
+        # derives liveness from whichever LUSs the network runs.
+        luses = getattr(self.host.network, "_lookup_services", None)
+        if luses is None:
+            luses = []
+            self.host.network._lookup_services = luses
+        if self not in luses:
+            luses.append(self)
         self.host.join_group(DISCOVERY_GROUP)
         self.host.open_port(PROBE_PORT, self._on_probe)
         self.env.process(self._landlord.sweeper(self._sweep_interval),
@@ -155,7 +163,7 @@ class LookupService:
 
     def cancel_lease(self, lease_id: int) -> None:
         resource = self._landlord.cancel(lease_id)
-        self._release_resource(resource)
+        self._release_resource(resource, expired=False)
 
     def lookup(self, template: ServiceTemplate,
                max_matches: int = 1) -> list[ServiceItem]:
@@ -182,11 +190,12 @@ class LookupService:
         out = []
         for service_id, item in self._items.items():
             lease_id = self._lease_of_service.get(service_id)
-            expires = None
+            expires = duration = None
             if lease_id is not None:
                 record = self._landlord._leases.get(lease_id)
                 if record is not None:
                     expires = record.expiration
+                    duration = record.duration
             out.append({
                 "service_id": service_id,
                 "name": item.name(),
@@ -194,6 +203,7 @@ class LookupService:
                 "lease_expires_at": expires,
                 "lease_remaining": (None if expires is None
                                     else max(0.0, expires - self.env.now)),
+                "lease_duration": duration,
             })
         return out
 
@@ -213,14 +223,22 @@ class LookupService:
     # -- internals ------------------------------------------------------------------
 
     def _on_lease_expired(self, resource) -> None:
-        self._release_resource(resource)
+        self._release_resource(resource, expired=True)
 
-    def _release_resource(self, resource) -> None:
+    def _release_resource(self, resource, expired: bool) -> None:
         kind, key = resource
         if kind == "reg":
             self._lease_of_service.pop(key, None)
             item = self._items.pop(key, None)
             if item is not None:
+                # Expiry means the holder went silent (crash/partition);
+                # cancellation is a graceful goodbye. The health model
+                # treats the two very differently, so say which it was.
+                from ..resilience.events import resilience_events
+                resilience_events(self.host.network).emit(
+                    "lease_expired" if expired else "service_deregistered",
+                    service=item.name() or key[:8], service_id=key,
+                    host=item.service.host, lus=self.lus_id)
                 self._fire_transitions(item, None)
         elif kind == "event":
             self._interests.pop(key, None)

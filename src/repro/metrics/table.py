@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from .quantiles import quantile_from_buckets
+
 __all__ = ["render_table", "format_value", "render_traffic", "render_metrics"]
 
 
@@ -58,7 +60,7 @@ def render_metrics(snapshot: dict, title: str = "Metrics") -> str:
 
     Takes the plain snapshot dict (not the registry) so this module stays
     free of observability imports. Counters/gauges show their value;
-    histograms show count, mean and the p95 bucket bound.
+    histograms show count, mean and the interpolated p95 estimate.
     """
     rows = []
     for name, entry in snapshot.items():
@@ -69,15 +71,9 @@ def render_metrics(snapshot: dict, title: str = "Metrics") -> str:
             rows.append([name, kind, data["value"], data["max"], None])
         else:  # histogram
             mean = data["total"] / data["count"] if data["count"] else None
-            seen, p95 = 0, None
-            for index, n in enumerate(data["counts"]):
-                seen += n
-                if data["count"] and seen >= 0.95 * data["count"]:
-                    p95 = (data["buckets"][index]
-                           if index < len(data["buckets"]) else float("inf"))
-                    break
+            p95 = quantile_from_buckets(data["buckets"], data["counts"], 0.95)
             rows.append([name, kind, data["count"], mean, p95])
-    return render_table(["metric", "type", "value/count", "mean/max", "p95<="],
+    return render_table(["metric", "type", "value/count", "mean/max", "p95"],
                         rows, title=title)
 
 

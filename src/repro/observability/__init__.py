@@ -32,18 +32,38 @@ from .span import (NULL_SPAN, TRACE_PARENT_PATH, Span, get_trace_parent,
                    propagate_trace, set_trace_parent)
 from .tracer import Tracer, render_span_tree, tracer_of
 from .export import dump_jsonl, metrics_to_jsonl, trace_to_jsonl
+from .timeseries import TimeSeriesStore, Window
+from .slo import Alert, Slo, SloEngine
+from .health import (DEGRADED, DOWN, UP, HealthModel, HealthMonitor,
+                     default_slos, health_monitor)
+from .status import render_health, render_status, status_json
 
 __all__ = [
+    "Alert",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEGRADED",
+    "DOWN",
     "Gauge",
+    "HealthModel",
+    "HealthMonitor",
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
+    "Slo",
+    "SloEngine",
     "Span",
     "TRACE_PARENT_PATH",
+    "TimeSeriesStore",
     "Tracer",
+    "UP",
+    "Window",
+    "default_slos",
     "dump_jsonl",
+    "health_monitor",
+    "render_health",
+    "render_status",
+    "status_json",
     "metrics_registry",
     "metrics_to_jsonl",
     "get_trace_parent",

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..metrics.quantiles import max_from_buckets, quantile_from_buckets
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "metrics_registry", "DEFAULT_LATENCY_BUCKETS"]
 
@@ -124,16 +126,18 @@ class Histogram:
 
     def quantile(self, q: float) -> Optional[float]:
         """Upper bound of the bucket holding the q-quantile sample."""
-        if not self.count:
-            return None
-        target = q * self.count
-        seen = 0
-        for index, n in enumerate(self.counts):
-            seen += n
-            if seen >= target:
-                return (self.buckets[index] if index < len(self.buckets)
-                        else float("inf"))
-        return float("inf")
+        return quantile_from_buckets(self.buckets, self.counts, q,
+                                     interpolate=False)
+
+    def quantile_interpolated(self, q: float) -> Optional[float]:
+        """Linearly interpolated q-quantile estimate (see
+        :func:`repro.metrics.quantiles.quantile_from_buckets`)."""
+        return quantile_from_buckets(self.buckets, self.counts, q)
+
+    @property
+    def max_bound(self) -> Optional[float]:
+        """Upper bound of the highest occupied bucket."""
+        return max_from_buckets(self.buckets, self.counts)
 
     def snapshot(self):
         return {"count": self.count, "total": self.total,
@@ -181,8 +185,27 @@ class MetricsRegistry:
             return float(metric.count)
         return metric.value
 
+    def quantile(self, name: str, q: float, **labels) -> Optional[float]:
+        """Interpolated quantile of a histogram, ``None`` when the metric
+        is unknown, empty or not a histogram (query must not create it)."""
+        metric = self._metrics.get(_key(name, labels))
+        if not isinstance(metric, Histogram):
+            return None
+        return metric.quantile_interpolated(q)
+
     def names(self, prefix: str = "") -> list[str]:
         return sorted(k for k in self._metrics if k.startswith(prefix))
+
+    def items(self, prefix: str = ""):
+        """(key, instrument) pairs in sorted key order — the raw handles,
+        for rollup machinery that needs more than :meth:`snapshot`."""
+        return [(key, self._metrics[key]) for key in self.names(prefix)]
+
+    def iter_items(self):
+        """(key, instrument) pairs in registration order, unsorted — the
+        cheap iteration the per-tick rollup path uses (order does not
+        matter there: every key rolls into its own independent ring)."""
+        return self._metrics.items()
 
     def snapshot(self, prefix: str = "") -> dict:
         """Deterministic (sorted) dump of every instrument's state."""

@@ -150,3 +150,11 @@ class BreakerRegistry:
     def snapshot(self) -> dict:
         return {key: breaker.state.value
                 for key, breaker in sorted(self._breakers.items())}
+
+    def states(self) -> dict:
+        """Detailed per-breaker view for the management plane."""
+        return {key: {"state": breaker.state.value,
+                      "consecutive_failures": breaker.consecutive_failures,
+                      "opens": breaker.opens,
+                      "refusals": breaker.refusals}
+                for key, breaker in sorted(self._breakers.items())}

@@ -33,10 +33,19 @@ class ResilienceEvents:
         self.env = env
         self.recorder = recorder if recorder is not None else Recorder()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._listeners: list = []
+
+    def subscribe(self, listener) -> None:
+        """Call ``listener(kind, fields)`` synchronously on every emit —
+        this is how the health model hears about lease expiries without
+        the jini layer knowing the health model exists."""
+        self._listeners.append(listener)
 
     def emit(self, kind: str, **fields) -> None:
         self.metrics.counter(f"resilience.{kind}").inc()
         self.recorder.event(kind, self.env.now, **fields)
+        for listener in self._listeners:
+            listener(kind, fields)
 
     def count(self, kind: str) -> float:
         return self.metrics.value(f"resilience.{kind}")

@@ -77,6 +77,11 @@ class ProvisionMonitor:
                                             monitor=name)
         #: Instances currently under management (the deployment's true size).
         self._m_managed = registry.gauge("monitor.managed", monitor=name)
+        #: Planned instances the monitor could not provision — a persistent
+        #: non-zero value means the federation is short on capacity (the
+        #: health model degrades the federation on it).
+        self._m_shortfall = registry.gauge("monitor.shortfall", monitor=name)
+        self._shortfalls: dict[tuple, int] = {}
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -103,6 +108,9 @@ class ProvisionMonitor:
         opstring = self._opstrings.pop(opstring_name, None)
         if opstring is None:
             raise KeyError(f"opstring {opstring_name!r} is not deployed")
+        for key in [k for k in self._shortfalls if k[0] == opstring_name]:
+            del self._shortfalls[key]
+        self._m_shortfall.set(sum(self._shortfalls.values()))
         # Release everything we provisioned for it (async).
         for record in [r for r in self._records.values()
                        if r.opstring == opstring_name]:
@@ -149,16 +157,21 @@ class ProvisionMonitor:
                            and rec.element == element.name
                            and sid not in live_ids]:
             del self._records[service_id]
+        provisioned = 0
         if len(live) < element.planned:
             for _ in range(element.planned - len(live)):
                 ok = yield from self._provision(opstring, element)
                 if not ok:
                     break
+                provisioned += 1
         elif len(live) > element.planned:
             extras = [self._records[sid] for sid in sorted(live_ids)
                       if sid in self._records][element.planned - len(live):]
             for record in extras:
                 yield from self._release(record)
+        shortfall = max(0, element.planned - len(live) - provisioned)
+        self._shortfalls[(opstring.name, element.name)] = shortfall
+        self._m_shortfall.set(sum(self._shortfalls.values()))
 
     def _next_instance_name(self, element: ServiceElement) -> str:
         """Smallest free instance name: a replacement for a dead single

@@ -76,6 +76,7 @@ class PaperLab:
     facade: SensorcerFacade
     browser: SensorBrowser
     hosts: dict
+    health: object  # HealthMonitor with the stock SLO set installed
 
     def settle(self, duration: float = 5.0) -> None:
         """Run long enough for discovery/join to converge."""
@@ -162,10 +163,17 @@ def build_paper_lab(seed: int = 2009, sample_interval: float = 1.0,
     facade.start()
     browser = SensorBrowser(host("browser-host"))
 
+    # Management plane: health rollups + the stock SLO set, evaluated once
+    # per simulated second (reads in-process state, no network traffic).
+    from ..observability.health import default_slos, health_monitor
+    health = health_monitor(net)
+    for slo in default_slos():
+        health.engine.add(slo)
+
     return PaperLab(
         env=env, net=net, world=world, rng=rng, lus=lus,
         txn_manager=txn_manager, mailbox=mailbox,
         lease_renewal=lease_renewal, discovery_service=discovery_service,
         monitor=monitor, cybernodes=cybernodes, jobber=jobber,
         sensors=sensors, devices=devices, composite=composite,
-        facade=facade, browser=browser, hosts=hosts)
+        facade=facade, browser=browser, hosts=hosts, health=health)

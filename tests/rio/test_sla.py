@@ -13,6 +13,7 @@ from repro.rio import (
     ServiceElement,
     SlaScaler,
 )
+from repro.observability import metrics_registry
 from repro.sorcer import Tasker
 
 
@@ -96,6 +97,100 @@ def test_scaler_respects_bounds(grid):
     env.run(until=30.0)
     assert scaler.planned == 2
     assert count_workers(lus) == 2
+
+
+def test_scaler_reads_registry_gauge(grid):
+    """load_metric may be a metric-key prefix: the scaler sums matching
+    gauges straight out of the shared MetricsRegistry."""
+    env, net, lus = grid
+    monitor = deploy_stack(net)
+    registry = metrics_registry(net)
+    depth = registry.gauge("worker.queue_depth", element="Worker")
+    scaler = SlaScaler(Host(net, "sla-host"), monitor.ref, "sla-os", "Worker",
+                       load_metric="worker.queue_depth",
+                       high_water=5.0, low_water=1.0,
+                       min_planned=1, max_planned=4, check_interval=1.0)
+    scaler.start()
+    env.run(until=10.0)
+    assert count_workers(lus) == 1
+
+    depth.set(10.0)  # sustained backlog
+    env.run(until=30.0)
+    assert scaler.planned == 4
+    assert count_workers(lus) == 4
+
+    depth.set(0.0)
+    env.run(until=80.0)
+    assert scaler.planned == 1
+    assert count_workers(lus) == 1
+
+
+def test_scaler_reads_counter_rate(grid):
+    """metric_kind='rate' turns a monotonic counter into a windowed
+    per-second rate over the check interval."""
+    env, net, lus = grid
+    monitor = deploy_stack(net)
+    registry = metrics_registry(net)
+    requests = registry.counter("worker.requests", element="Worker")
+    busy = {"on": False}
+
+    def traffic():
+        while True:
+            if busy["on"]:
+                requests.inc(10)  # 10 req/s while the burst lasts
+            yield env.timeout(1.0)
+
+    env.process(traffic())
+    scaler = SlaScaler(Host(net, "sla-host"), monitor.ref, "sla-os", "Worker",
+                       load_metric="worker.requests", metric_kind="rate",
+                       high_water=5.0, low_water=1.0,
+                       min_planned=1, max_planned=3, check_interval=1.0)
+    scaler.start()
+    env.run(until=10.0)
+    assert scaler.planned == 1  # idle counter: rate 0
+
+    busy["on"] = True
+    env.run(until=30.0)
+    assert scaler.planned == 3
+    assert count_workers(lus) == 3
+
+    busy["on"] = False
+    env.run(until=70.0)
+    assert scaler.planned == 1
+    assert count_workers(lus) == 1
+
+
+def test_scaler_rejects_bad_metric_kind(grid):
+    env, net, lus = grid
+    monitor = deploy_stack(net)
+    with pytest.raises(ValueError):
+        SlaScaler(Host(net, "sla-host"), monitor.ref, "sla-os", "Worker",
+                  "worker.requests", high_water=5.0, low_water=1.0,
+                  metric_kind="p99")
+
+
+def test_monitor_reports_provision_shortfall(grid):
+    """Planned beyond capacity leaves a non-zero monitor.shortfall gauge;
+    trimming the plan back clears it."""
+    env, net, lus = grid
+    Cybernode(Host(net, "small-cyber"), "Cybernode",
+              capability=QosCapability(compute_slots=2),
+              lease_duration=5.0).start()
+    monitor = ProvisionMonitor(Host(net, "monitor-host"), poll_interval=0.5)
+    monitor.start()
+    element = ServiceElement(name="Worker", factory=worker_factory,
+                             planned=4,
+                             qos=QosRequirement(load=1, memory_mb=1),
+                             max_per_node=2)
+    monitor.deploy(OperationalString("sla-os", [element]))
+    env.run(until=10.0)
+    registry = metrics_registry(net)
+    assert count_workers(lus) == 2  # capacity-bound
+    assert registry.value("monitor.shortfall", monitor="Monitor") == 2.0
+
+    monitor.set_planned("sla-os", "Worker", 2)
+    env.run(until=20.0)
+    assert registry.value("monitor.shortfall", monitor="Monitor") == 0.0
 
 
 def test_scaler_stop_freezes_plan(grid):

@@ -1,10 +1,14 @@
 """CLI smoke + behaviour tests."""
 
 import io
+import json
+import pathlib
 
 import pytest
 
 from repro.cli import build_parser, main
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
 
 
 def run_cli(*argv):
@@ -135,3 +139,69 @@ def test_trace_same_seed_same_output():
     _, first = run_cli("--seed", "7", "trace")
     _, second = run_cli("--seed", "7", "trace")
     assert first == second
+
+
+def test_trace_metrics_flag_prints_registry_table():
+    code, output = run_cli("trace", "--metrics")
+    assert code == 0
+    # The metrics table rides along after the span trees.
+    assert "spans recorded" in output
+    assert "rpc.calls{" in output
+    assert "health.status{entity=federation}" in output
+
+
+# -- management plane: repro status / repro health -----------------------------
+#
+# Golden files pin the exact bytes for the default seed. The simulation is
+# deterministic, so any diff here is a real behaviour change: regenerate
+# with `python -m repro status > tests/golden/status_seed2009.txt` (etc.)
+# and review the diff like any other code change.
+
+
+def test_status_matches_golden():
+    code, output = run_cli("status")
+    assert code == 0
+    assert output == (GOLDEN / "status_seed2009.txt").read_text()
+
+
+def test_status_json_matches_golden():
+    code, output = run_cli("status", "--json")
+    assert code == 0
+    assert output == (GOLDEN / "status_seed2009.json").read_text()
+    document = json.loads(output)
+    assert document["federation"]["status"] == "UP"
+    assert document["seed"] == 2009
+    assert len(document["nodes"]) == 15
+
+
+def test_health_matches_golden():
+    code, output = run_cli("health")
+    assert code == 0
+    assert output == (GOLDEN / "health_seed2009.txt").read_text()
+
+
+def test_status_json_byte_identical_across_runs():
+    _, first = run_cli("--seed", "31", "status", "--json")
+    _, second = run_cli("--seed", "31", "status", "--json")
+    assert first == second
+
+
+def test_status_quiet_lab_skips_experiment():
+    code, output = run_cli("status", "--quiet-lab", "--until", "12")
+    assert code == 0
+    assert "t=12.0s simulated" in output
+    # The six-step experiment never ran, so its product is absent.
+    assert "New-Composite" not in output
+    assert "federation [+] UP" in output
+
+
+def test_health_json_is_canonical():
+    code, output = run_cli("health", "--json")
+    assert code == 0
+    document = json.loads(output)
+    # Canonical form: sorted keys, no spaces, trailing newline.
+    assert output == json.dumps(document, sort_keys=True,
+                                separators=(",", ":")) + "\n"
+    assert {slo["name"] for slo in document["slos"]} == {
+        "federation-health", "exertion-failure-rate",
+        "deadline-miss-rate", "rpc-timeout-rate"}
