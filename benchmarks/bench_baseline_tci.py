@@ -24,7 +24,7 @@ import numpy as np
 import pytest
 
 from repro.metrics import render_table
-from repro.sim import Environment
+from repro.sim import Environment, Interrupt
 from repro.net import FixedLatency, Host, Network, rpc_endpoint
 from repro.jini import LookupService
 from repro.sensors import PhysicalEnvironment, TemperatureProbe
@@ -162,6 +162,8 @@ def run_tci():
                 yield client.call(replacement.ref, "query", "mean",
                                   timeout=60.0)
                 return
+            except Interrupt:
+                raise
             except Exception:
                 yield env.timeout(0.5)
 

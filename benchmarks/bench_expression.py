@@ -8,6 +8,7 @@ caching compiled expressions (what the CSP does) is the right design.
 """
 
 import numpy as np
+# repro: allow-file[DET001] - benchmarks time real work on the wall clock
 import pytest
 
 from repro.expr import Expression, compile_expression, evaluate

@@ -20,6 +20,7 @@ budget, which a shared runner cannot honour reliably).
 import gc
 import os
 import time
+# repro: allow-file[DET001] - benchmarks time real work on the wall clock
 
 import pytest
 

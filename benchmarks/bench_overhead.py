@@ -19,6 +19,7 @@ wins for N=1 and loses for N >= ~4).
 import gc
 import os
 import time
+# repro: allow-file[DET001] - benchmarks time real work on the wall clock
 
 import pytest
 

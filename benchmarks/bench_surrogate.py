@@ -17,7 +17,7 @@ import numpy as np
 import pytest
 
 from repro.metrics import render_table
-from repro.sim import Environment
+from repro.sim import Environment, Interrupt
 from repro.net import FixedLatency, Host, Network, rpc_endpoint
 from repro.jini import LookupService
 from repro.sensors import PhysicalEnvironment, SunSpotDevice, \
@@ -91,6 +91,8 @@ def run_surrogate(n_clients):
             try:
                 yield ep.call(surrogate.ref, "getValue", timeout=30.0)
                 latencies.append(env.now - t0)
+            except Interrupt:
+                raise
             except Exception:
                 pass
             yield env.timeout(QUERY_INTERVAL)

@@ -39,33 +39,37 @@ Quick start::
 
 __version__ = "0.1.0"
 
-from . import (  # noqa: F401 - re-exported subpackages
-    baselines,
-    core,
-    expr,
-    jini,
-    metrics,
-    net,
-    resilience,
-    rio,
-    scenarios,
-    sensors,
-    sim,
-    sorcer,
-)
+import importlib
 
-__all__ = [
-    "__version__",
+#: Re-exported subpackages, resolved lazily (PEP 562). Laziness matters:
+#: the static analysis surface (``repro lint``, :mod:`repro.analysis`) is
+#: stdlib-only and must import in environments without numpy/scenario
+#: dependencies installed.
+_SUBPACKAGES = frozenset({
+    "analysis",
     "baselines",
     "core",
     "expr",
     "jini",
     "metrics",
     "net",
+    "observability",
     "resilience",
     "rio",
     "scenarios",
     "sensors",
     "sim",
     "sorcer",
-]
+})
+
+__all__ = ["__version__", *sorted(_SUBPACKAGES)]
+
+
+def __getattr__(name: str):
+    if name in _SUBPACKAGES:
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _SUBPACKAGES)

@@ -1,0 +1,137 @@
+"""Driver for the determinism lint pass (``repro lint``).
+
+Parses files with the stdlib :mod:`ast`, runs every registered rule from
+:mod:`repro.analysis.rules` and applies pragma suppressions:
+
+``# repro: allow[<rule>]``
+    on a line: suppress that rule for that line;
+``# repro: allow-file[<rule>]``
+    anywhere in the file: suppress that rule for the whole file.
+
+Multiple rules may be listed comma-separated inside the brackets. Unknown
+rule names in pragmas are themselves reported (a stale pragma is a lie
+about the code).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from .rules import RULES, ModuleInfo, all_rules
+
+__all__ = ["Finding", "lint_source", "lint_paths", "render_findings"]
+
+_PRAGMA = re.compile(r"#\s*repro:\s*(allow|allow-file)\[([A-Za-z0-9_,\s]*)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pointing at a file:line with a fix hint."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def _parse_pragmas(source: str):
+    """Return ``(line_allows, file_allows, bad_pragmas)``.
+
+    ``line_allows`` maps line number -> set of rule ids allowed there;
+    ``file_allows`` is the set of rule ids allowed file-wide;
+    ``bad_pragmas`` lists (line, token) for unknown rule names.
+    """
+    line_allows: dict[int, set] = {}
+    file_allows: set = set()
+    bad: list[tuple] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        for match in _PRAGMA.finditer(line):
+            scope, rules_text = match.groups()
+            for token in rules_text.split(","):
+                token = token.strip()
+                if not token:
+                    continue
+                if token not in RULES:
+                    bad.append((lineno, token))
+                    continue
+                if scope == "allow-file":
+                    file_allows.add(token)
+                else:
+                    line_allows.setdefault(lineno, set()).add(token)
+    return line_allows, file_allows, bad
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[Sequence] = None) -> list:
+    """Lint one module's source text; returns sorted :class:`Finding`s."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1, rule="E999",
+                        message=f"syntax error: {exc.msg}")]
+    line_allows, file_allows, bad_pragmas = _parse_pragmas(source)
+    module = ModuleInfo(path, source, tree)
+    findings = [
+        Finding(path=path, line=lineno, rule="PRAGMA",
+                message=f"pragma names unknown rule {token!r}",
+                hint=f"known rules: {', '.join(sorted(RULES))}")
+        for lineno, token in bad_pragmas
+    ]
+    for rule in (rules if rules is not None else all_rules()):
+        if rule.rule_id in file_allows:
+            continue
+        for line, message in rule.check(module):
+            if rule.rule_id in line_allows.get(line, ()):
+                continue
+            findings.append(Finding(path=path, line=line, rule=rule.rule_id,
+                                    message=message, hint=rule.hint))
+    findings.sort(key=lambda f: (f.line, f.rule))
+    return findings
+
+
+def _iter_py_files(paths: Iterable) -> list:
+    files: list = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return files
+
+
+def lint_paths(paths: Iterable,
+               rules: Optional[Sequence] = None) -> list:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: list = []
+    for path in _iter_py_files(paths):
+        findings.extend(lint_source(path.read_text(encoding="utf-8"),
+                                    path=str(path), rules=rules))
+    return findings
+
+
+def render_findings(findings: Sequence) -> str:
+    """Human-readable report, one block per finding plus a summary line."""
+    if not findings:
+        return "repro lint: clean"
+    lines = [finding.render() for finding in findings]
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    summary = ", ".join(f"{rule}: {count}"
+                        for rule, count in sorted(by_rule.items()))
+    lines.append(f"repro lint: {len(findings)} finding(s) ({summary})")
+    return "\n".join(lines)

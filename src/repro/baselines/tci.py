@@ -28,6 +28,7 @@ from ..jini.template import ServiceTemplate
 from ..net.host import Host
 from ..net.rpc import rpc_endpoint
 from ..sensors.probe import ProbeError, SensorProbe
+from ..sim import Interrupt
 from ..sorcer.accessor import ServiceAccessor
 from ..sorcer.provider import join_service
 
@@ -119,6 +120,8 @@ class TciSensorServiceProvider:
             try:
                 values = yield self._endpoint.call(item.service, "read_all",
                                                    kind="tci-read", timeout=5.0)
+            except Interrupt:
+                raise
             except Exception:
                 continue
             structured[item.name()] = values

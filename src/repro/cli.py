@@ -9,8 +9,12 @@ Usage (also via ``python -m repro``)::
     python -m repro topology    [--seed N]        # logical network tree
     python -m repro status      [--seed N] [--json]   # health tree
     python -m repro health      [--seed N] [--json]   # SLOs + alerts
+    python -m repro lint PATH...                      # determinism lint
 
 Everything runs a fresh, seeded simulation; same seed, same output.
+``lint`` is the odd one out: a static pass over source files, no
+simulation (and no scenario dependencies — scenario imports stay lazy so
+the lint path works in minimal environments).
 """
 
 from __future__ import annotations
@@ -18,8 +22,6 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Optional, Sequence
-
-from .scenarios import build_farm, build_paper_lab
 
 __all__ = ["main", "build_parser"]
 
@@ -86,10 +88,23 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--quiet-lab", action="store_true",
                          help="skip the six-step experiment, observe an "
                               "idle lab")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism lint over python sources "
+             "(DET*/SIM* rules; exits 1 on findings)")
+    lint.add_argument("paths", nargs="+", metavar="PATH",
+                      help="files or directories to lint")
+    lint.add_argument("--rule", action="append", dest="rule_ids",
+                      metavar="RULE",
+                      help="restrict to this rule id (repeatable)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule table and exit")
     return parser
 
 
 def _lab(seed: int):
+    from .scenarios import build_paper_lab
     lab = build_paper_lab(seed=seed)
     lab.settle(6.0)
     return lab
@@ -149,6 +164,7 @@ def cmd_value(args, out) -> int:
 
 
 def cmd_farm(args, out) -> int:
+    from .scenarios import build_farm
     farm = build_farm(seed=args.seed, n_fields=args.fields,
                       sensors_per_field=args.sensors)
     farm.settle(6.0)
@@ -269,6 +285,29 @@ def cmd_health(args, out) -> int:
     return 0
 
 
+def cmd_lint(args, out) -> int:
+    from .analysis import RULES, all_rules, lint_paths, render_findings
+    if args.list_rules:
+        for rule in all_rules():
+            out.write(f"{rule.rule_id}  {rule.summary}\n")
+        return 0
+    rules = None
+    if args.rule_ids:
+        unknown = [r for r in args.rule_ids if r not in RULES]
+        if unknown:
+            out.write(f"unknown rule(s): {', '.join(unknown)}; "
+                      f"known: {', '.join(sorted(RULES))}\n")
+            return 2
+        rules = [RULES[r] for r in args.rule_ids]
+    try:
+        findings = lint_paths(args.paths, rules=rules)
+    except FileNotFoundError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    out.write(render_findings(findings) + "\n")
+    return 1 if findings else 0
+
+
 _COMMANDS = {
     "inventory": cmd_inventory,
     "experiment": cmd_experiment,
@@ -281,6 +320,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "status": cmd_status,
     "health": cmd_health,
+    "lint": cmd_lint,
 }
 
 

@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..jini.template import ServiceTemplate
 from ..net.host import Host
+from ..sim import Interrupt
 from ..sorcer.accessor import ServiceAccessor
 from ..sorcer.context import ServiceContext
 from ..sorcer.exerter import Exerter
@@ -150,10 +151,14 @@ class SensorBrowser:
         """Fetch the raw registration table from every known registrar
         (the Fig 2 Admin tab)."""
         out = {}
-        for lus_id, ref in list(self.accessor.discovery.registrars.items()):
+        # Registrar discovery order is deterministic (insertion-ordered dict).
+        for lus_id, ref in list(  # repro: allow[DET003]
+                self.accessor.discovery.registrars.items()):
             try:
                 rows = yield self.exerter._endpoint.call(
                     ref, "registrations", kind="lus-admin", timeout=3.0)
+            except Interrupt:
+                raise
             except Exception:
                 continue
             out[lus_id] = rows

@@ -20,6 +20,7 @@ from ..observability import metrics_registry
 from ..resilience import DEADLINE_PATH, Deadline
 from ..sensors.buffer import ReadingBuffer
 from ..sensors.probe import ProbeError, Reading, SensorProbe
+from ..sim import Interrupt
 from ..sorcer.provider import ServiceProvider
 from .events import SensorReadingEvent, Subscription
 from .interfaces import (
@@ -119,7 +120,9 @@ class ElementarySensorProvider(ServiceProvider):
     # -- push subscriptions (§II.5 on-the-fly data) ----------------------------------
 
     def _publish(self, reading: Reading) -> None:
-        for event_id, sub in list(self._subscribers.items()):
+        # Subscribers push in subscription order (insertion-ordered dict).
+        for event_id, sub in list(  # repro: allow[DET003]
+                self._subscribers.items()):
             if not self._sub_landlord.is_active(sub["lease_id"]):
                 continue
             if reading.timestamp - sub["last_pushed"] < sub["min_interval"]:
@@ -141,6 +144,8 @@ class ElementarySensorProvider(ServiceProvider):
                                       kind="sensor-event", timeout=3.0)
             self.events_pushed += 1
             self._m_events_pushed.inc()
+        except Interrupt:
+            raise
         except Exception:
             pass  # unreachable subscriber: its lease will lapse
 

@@ -30,6 +30,7 @@ from ..jini.template import ServiceItem, ServiceTemplate
 from ..net.host import Host
 from ..observability import propagate_trace
 from ..resilience import Deadline
+from ..sim import Interrupt
 from ..sorcer.context import ServiceContext
 from ..sorcer.exerter import Exerter
 from ..sorcer.exertion import Task
@@ -307,6 +308,8 @@ class SensorcerFacade(ServiceProvider):
         try:
             yield self._endpoint.call(listener, "notify", event,
                                       kind="health-event", timeout=3.0)
+        except Interrupt:
+            raise
         except Exception:
             # At-most-once Jini delivery: an unreachable listener misses
             # the edge; its mailbox lease will eventually lapse anyway.
@@ -363,6 +366,8 @@ class SensorcerFacade(ServiceProvider):
             try:
                 applied = yield from self._apply_plan(plan, strict=False)
                 self.healing_actions += applied
+            except Interrupt:
+                raise
             except Exception:
                 continue
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from ..net.host import Host
 from ..net.rpc import RemoteRef, rpc_endpoint
+from ..sim import Interrupt
 from .discovery import lookup_discovery
 
 __all__ = ["LookupDiscoveryService"]
@@ -53,7 +54,9 @@ class LookupDiscoveryService:
             payload = {"event": event_kind, "lus_id": lus_id}
             if rest:
                 payload["registrar"] = rest[0]
-            for listener in list(self._listeners.values()):
+            # Listeners notify in registration order (insertion-ordered dict).
+            for listener in list(  # repro: allow[DET003]
+                    self._listeners.values()):
                 self.env.process(self._deliver(listener, payload),
                                  name=f"lds-notify:{event_kind}")
         return callback
@@ -64,5 +67,7 @@ class LookupDiscoveryService:
         try:
             yield self._endpoint.call(listener, "notify", payload,
                                       kind="lds-event", timeout=3.0)
+        except Interrupt:
+            raise
         except Exception:
             pass

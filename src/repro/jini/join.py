@@ -16,6 +16,7 @@ from __future__ import annotations
 from ..net.errors import NetworkError, RemoteError
 from ..net.host import Host
 from ..net.rpc import RemoteRef, rpc_endpoint
+from ..sim import Interrupt
 from .discovery import LookupDiscovery, lookup_discovery
 from .lease import Lease
 from .template import ServiceItem
@@ -71,10 +72,14 @@ class JoinManager:
         A generator — run it as a process: ``yield env.process(jm.terminate())``.
         """
         self._active = False
-        for lus_id, reg in list(self._registrations.items()):
+        # Cancellation goes out in registration order (insertion-ordered dict).
+        for lus_id, reg in list(  # repro: allow[DET003]
+                self._registrations.items()):
             try:
                 yield self._endpoint.call(reg.lus_ref, "cancel_lease",
                                           reg.lease.lease_id, timeout=2.0)
+            except Interrupt:
+                raise
             except Exception:
                 pass
         self._registrations.clear()
@@ -83,7 +88,9 @@ class JoinManager:
         """Replace the item's attribute set and push it to every LUS as a
         re-registration (observers see a MATCH_MATCH event)."""
         self.item = self.item.with_attributes(attributes)
-        for lus_id, reg in list(self._registrations.items()):
+        # Re-registration in registration order (insertion-ordered dict).
+        for lus_id, reg in list(  # repro: allow[DET003]
+                self._registrations.items()):
             self._registrations.pop(lus_id, None)
             self.env.process(self._register(lus_id, reg.lus_ref),
                              name=f"join-update:{self.item.service_id[:8]}")
@@ -119,15 +126,19 @@ class JoinManager:
             yield self.env.timeout(self.maintenance_interval)
 
     def _round(self):
-        # Register with any registrar we somehow missed the callback for.
-        for lus_id, ref in list(self.discovery.registrars.items()):
+        # Register with any registrar we somehow missed the callback for,
+        # in discovery order (insertion-ordered dict).
+        for lus_id, ref in list(  # repro: allow[DET003]
+                self.discovery.registrars.items()):
             if not self._active:
                 return
             if lus_id not in self._registrations:
                 yield from self._register(lus_id, ref)
         # Renew leases past the halfway point; re-register if the LUS
-        # forgot us (restart or expiry).
-        for lus_id, reg in list(self._registrations.items()):
+        # forgot us (restart or expiry). Registration order (insertion-
+        # ordered dict) is the deterministic renewal order.
+        for lus_id, reg in list(  # repro: allow[DET003]
+                self._registrations.items()):
             if not self._active:
                 return
             remaining = reg.lease.remaining(self.env.now)

@@ -19,6 +19,8 @@ from typing import Any, Optional
 from ..net.host import Host
 from ..net.message import Message
 from ..net.rpc import RemoteRef, rpc_endpoint
+from ..sim import Interrupt
+from ..sim import sanitizer as _san
 from .discovery import ANNOUNCE_PORT, DISCOVERY_GROUP, PROBE_PORT
 from .events import (
     ALL_TRANSITIONS,
@@ -140,10 +142,19 @@ class LookupService:
 
     # -- remote API -------------------------------------------------------------
 
+    def _record_access(self, kind: str) -> None:
+        """Report a registry read/write to the race sanitizer. The whole
+        item table is one key: a same-timestamp register racing any lookup
+        genuinely makes the lookup's answer tie-break dependent."""
+        if _san._active is not None:
+            _san._active.record(("lus", self.lus_id), kind,
+                                f"lookup registry of {self.name!r}")
+
     def register(self, item: ServiceItem, lease_duration: float) -> ServiceRegistration:
         """Register (or re-register) a service item."""
         if not item.service_id:
             raise ValueError("ServiceItem.service_id must be set")
+        self._record_access("w")
         previous = self._items.get(item.service_id)
         # Replace any existing lease for this service.
         old_lease_id = self._lease_of_service.pop(item.service_id, None)
@@ -168,6 +179,7 @@ class LookupService:
     def lookup(self, template: ServiceTemplate,
                max_matches: int = 1) -> list[ServiceItem]:
         """Return up to ``max_matches`` matching items (registration order)."""
+        self._record_access("r")
         out = []
         for item in self._items.values():
             if template.matches(item):
@@ -177,6 +189,7 @@ class LookupService:
         return out
 
     def lookup_all(self, template: Optional[ServiceTemplate] = None) -> list[ServiceItem]:
+        self._record_access("r")
         if template is None:
             return list(self._items.values())
         return [item for item in self._items.values() if template.matches(item)]
@@ -228,6 +241,7 @@ class LookupService:
     def _release_resource(self, resource, expired: bool) -> None:
         kind, key = resource
         if kind == "reg":
+            self._record_access("w")
             self._lease_of_service.pop(key, None)
             item = self._items.pop(key, None)
             if item is not None:
@@ -245,7 +259,9 @@ class LookupService:
 
     def _fire_transitions(self, before: Optional[ServiceItem],
                           after: Optional[ServiceItem]) -> None:
-        for interest in list(self._interests.values()):
+        # Interests fire in registration order (insertion-ordered dict).
+        for interest in list(  # repro: allow[DET003]
+                self._interests.values()):
             was = before is not None and interest.template.matches(before)
             now = after is not None and interest.template.matches(after)
             if was and not now:
@@ -274,6 +290,8 @@ class LookupService:
         try:
             yield endpoint.call(interest.listener, "notify", event,
                                 kind="service-event", timeout=3.0)
+        except Interrupt:
+            raise
         except Exception:
             # Unreachable listener: Jini drops the event; the lease mechanism
             # eventually reaps dead registrations.

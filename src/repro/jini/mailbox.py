@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..net.host import Host
 from ..net.rpc import RemoteRef, rpc_endpoint
+from ..sim import Interrupt
 from .events import RemoteEvent
 from .lease import Landlord, Lease
 
@@ -122,6 +123,8 @@ class EventMailbox:
             try:
                 yield self._endpoint.call(target, "notify", event,
                                           kind="mailbox-event", timeout=3.0)
+            except Interrupt:
+                raise
             except Exception:
                 # Push failed: requeue and stop pushing until re-enabled.
                 self._events[registration_id] = (

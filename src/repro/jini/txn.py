@@ -15,6 +15,7 @@ from enum import Enum
 
 from ..net.host import Host
 from ..net.rpc import RemoteRef, rpc_endpoint
+from ..sim import Interrupt
 from .lease import Landlord, Lease
 
 __all__ = ["TransactionManager", "TxnState", "CannotCommitError",
@@ -102,6 +103,8 @@ class TransactionManager:
                 vote = yield self._endpoint.call(
                     participant, "prepare", txn_id, kind="txn-prepare",
                     timeout=3.0)
+            except Interrupt:
+                raise
             except Exception:
                 vote = Vote.ABORTED
             votes.append((participant, vote))
@@ -117,6 +120,8 @@ class TransactionManager:
             try:
                 yield self._endpoint.call(participant, "commit", txn_id,
                                           kind="txn-commit", timeout=3.0)
+            except Interrupt:
+                raise
             except Exception:
                 # Phase-2 failures cannot roll back; real managers retry
                 # until durable. We retry once, then give up (participant
@@ -155,6 +160,8 @@ class TransactionManager:
             try:
                 yield self._endpoint.call(participant, "abort", txn.txn_id,
                                           kind="txn-abort", timeout=3.0)
+            except Interrupt:
+                raise
             except Exception:
                 pass
 

@@ -26,7 +26,8 @@ from typing import Any, Iterable, Optional
 from ..observability.registry import metrics_registry
 from ..observability.span import NULL_SPAN
 from ..observability.tracer import tracer_of
-from ..sim import Event
+from ..sim import Event, Interrupt
+from ..sim import sanitizer as _san
 from .errors import NoSuchObjectError, RemoteError, RpcTimeout
 from .host import Host
 from .message import Message
@@ -122,12 +123,18 @@ class RpcEndpoint:
         """
         if object_id in self._objects:
             raise ValueError(f"object id {object_id!r} already exported on {self.host.name}")
+        if _san._active is not None:
+            _san._active.record(("rpc-exports", self.host.name), "w",
+                                f"RPC export table of host {self.host.name!r}")
         self._objects[object_id] = obj
         self._allowed[object_id] = frozenset(methods) if methods is not None else None
         return RemoteRef(host=self.host.name, object_id=object_id,
                          type_names=_remote_type_names(obj))
 
     def unexport(self, object_id: str) -> None:
+        if _san._active is not None:
+            _san._active.record(("rpc-exports", self.host.name), "w",
+                                f"RPC export table of host {self.host.name!r}")
         self._objects.pop(object_id, None)
         self._allowed.pop(object_id, None)
 
@@ -136,6 +143,9 @@ class RpcEndpoint:
 
     def _on_request(self, msg: Message) -> None:
         request_id, reply_to, object_id, method, args, kwargs = msg.payload
+        if _san._active is not None:
+            _san._active.record(("rpc-exports", self.host.name), "r",
+                                f"RPC export table of host {self.host.name!r}")
         obj = self._objects.get(object_id)
         if obj is None:
             self._reply(reply_to, request_id, False,
@@ -160,12 +170,16 @@ class RpcEndpoint:
             result = target(*args, **kwargs)
             if inspect.isgenerator(result):
                 result = yield self.env.process(result)
+        except Interrupt:
+            # An interrupt aims at this server process, not at the remote
+            # caller — propagate it instead of shipping it as a reply.
+            raise
         except BaseException as exc:  # noqa: BLE001 - crosses the RPC boundary
             self._reply(reply_to, request_id, False, exc)
             return
         self._reply(reply_to, request_id, True, result)
         return
-        yield  # pragma: no cover - makes this function a generator
+        yield  # pragma: no cover  # repro: allow[SIM002] - makes this a generator
 
     def _reply(self, reply_to: str, request_id: int, ok: bool, value: Any) -> None:
         if not self.host.up:

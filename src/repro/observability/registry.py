@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..metrics.quantiles import max_from_buckets, quantile_from_buckets
+from ..sim import sanitizer as _san
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "metrics_registry", "DEFAULT_LATENCY_BUCKETS"]
@@ -53,6 +54,11 @@ class Counter:
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
+        if _san._active is not None:
+            # Increments commute: a "cw" access races with same-time reads
+            # and plain writes, but not with other increments.
+            _san._active.record(("metric", self.name), "cw",
+                                f"counter {self.name!r}")
         self.value += amount
 
     def snapshot(self):
@@ -72,15 +78,27 @@ class Gauge:
         self.max_value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
-        if self.value > self.max_value:
-            self.max_value = self.value
+        if _san._active is not None:
+            _san._active.record(("metric", self.name), "w",
+                                f"gauge {self.name!r}")
+        self._apply(float(value))
 
     def inc(self, amount: float = 1.0) -> None:
-        self.set(self.value + amount)
+        if _san._active is not None:
+            _san._active.record(("metric", self.name), "cw",
+                                f"gauge {self.name!r}")
+        self._apply(self.value + amount)
 
     def dec(self, amount: float = 1.0) -> None:
+        if _san._active is not None:
+            _san._active.record(("metric", self.name), "cw",
+                                f"gauge {self.name!r}")
         self.value -= amount
+
+    def _apply(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
 
     def snapshot(self):
         return {"value": self.value, "max": self.max_value}
@@ -108,6 +126,9 @@ class Histogram:
         self.total = 0.0
 
     def observe(self, value: float) -> None:
+        if _san._active is not None:
+            _san._active.record(("metric", self.name), "cw",
+                                f"histogram {self.name!r}")
         value = float(value)
         lo, hi = 0, len(self.buckets)
         while lo < hi:
@@ -178,7 +199,10 @@ class MetricsRegistry:
     def value(self, name: str, **labels) -> float:
         """A counter/gauge's current value *without* creating the metric
         (querying an unknown name must not change the registry)."""
-        metric = self._metrics.get(_key(name, labels))
+        key = _key(name, labels)
+        if _san._active is not None:
+            _san._active.record(("metric", key), "r", f"metric {key!r}")
+        metric = self._metrics.get(key)
         if metric is None:
             return 0.0
         if isinstance(metric, Histogram):
@@ -199,7 +223,11 @@ class MetricsRegistry:
     def items(self, prefix: str = ""):
         """(key, instrument) pairs in sorted key order — the raw handles,
         for rollup machinery that needs more than :meth:`snapshot`."""
-        return [(key, self._metrics[key]) for key in self.names(prefix)]
+        keys = self.names(prefix)
+        if _san._active is not None:
+            for key in keys:
+                _san._active.record(("metric", key), "r", f"metric {key!r}")
+        return [(key, self._metrics[key]) for key in keys]
 
     def iter_items(self):
         """(key, instrument) pairs in registration order, unsorted — the

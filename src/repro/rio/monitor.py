@@ -23,6 +23,7 @@ from ..net.errors import NetworkError, RemoteError
 from ..net.host import Host
 from ..net.rpc import RemoteRef, rpc_endpoint
 from ..observability import metrics_registry, tracer_of
+from ..sim import Interrupt
 from ..sorcer.accessor import ServiceAccessor
 from .opstring import Deployment, OperationalString, ServiceElement
 from .selection import Candidate, LeastLoaded, SelectionPolicy
@@ -137,6 +138,8 @@ class ProvisionMonitor:
                     for element in list(opstring.elements):
                         try:
                             yield from self._converge(opstring, element)
+                        except Interrupt:
+                            raise
                         except Exception:
                             # Control must survive transient weirdness.
                             self._converge_failed()

@@ -26,6 +26,7 @@ from typing import Callable, Optional, Union
 from ..net.host import Host
 from ..net.rpc import RemoteRef, rpc_endpoint
 from ..observability.registry import Counter, Gauge, metrics_registry
+from ..sim import Interrupt
 
 __all__ = ["SlaScaler"]
 
@@ -113,6 +114,8 @@ class SlaScaler:
                     yield self._endpoint.call(
                         self.monitor_ref, "set_planned", self.opstring_name,
                         self.element_name, target, kind="sla-scale")
+                except Interrupt:
+                    raise
                 except Exception:
                     continue
                 self.planned = target

@@ -12,6 +12,7 @@ from .core import (
     Timeout,
 )
 from .resources import Resource, Store
+from .sanitizer import RaceSanitizer, SanitizerViolation
 
 __all__ = [
     "AllOf",
@@ -21,7 +22,9 @@ __all__ = [
     "Event",
     "Interrupt",
     "Process",
+    "RaceSanitizer",
     "Resource",
+    "SanitizerViolation",
     "SimulationError",
     "Store",
     "Timeout",

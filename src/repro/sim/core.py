@@ -22,8 +22,13 @@ Design notes
 from __future__ import annotations
 
 import heapq
+import os
+import random as _random
 from itertools import count
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from . import sanitizer as _san
+from .sanitizer import RaceSanitizer, SanitizerViolation  # noqa: F401 - re-export
 
 __all__ = [
     "Environment",
@@ -34,9 +39,16 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Interrupt",
+    "RaceSanitizer",
+    "SanitizerViolation",
     "SimulationError",
     "StopSimulation",
 ]
+
+#: Environment variable honoured by :class:`Environment` when no explicit
+#: ``tie_break_seed`` is passed — lets a test run (or CI job) shuffle every
+#: scenario it builds without threading a parameter through the builders.
+SHUFFLE_SEED_ENV = "REPRO_SHUFFLE_SEED"
 
 #: Priority for "urgent" events (used internally for interrupts).
 URGENT = 0
@@ -327,13 +339,39 @@ class AnyOf(Condition):
 
 
 class Environment:
-    """The simulation environment: clock plus event queue."""
+    """The simulation environment: clock plus event queue.
 
-    def __init__(self, initial_time: float = 0.0):
+    ``sanitize`` enables the same-timestamp race sanitizer (see
+    :mod:`repro.sim.sanitizer`); pass ``True`` for raise-on-violation or
+    ``"record"`` to accumulate violations in ``env.sanitizer.violations``.
+
+    ``tie_break_seed`` enables the tie-break shuffle harness: ordering among
+    events at identical ``(time, priority)`` is randomized by a
+    seeded generator instead of strict scheduling order, while causal order
+    (an event scheduled during another's execution runs after it) is
+    preserved. Tests use it to prove results do not depend on the
+    tie-breaker. When ``None``, the ``REPRO_SHUFFLE_SEED`` environment
+    variable is consulted so whole suites can be shuffled externally.
+    """
+
+    def __init__(self, initial_time: float = 0.0,
+                 sanitize: bool | str = False,
+                 tie_break_seed: Optional[int] = None):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple[float, int, float, int, Event]] = []
         self._seq = count()
         self._active_process: Optional[Process] = None
+        if tie_break_seed is None:
+            from_env = os.environ.get(SHUFFLE_SEED_ENV)
+            if from_env:
+                tie_break_seed = int(from_env)
+        self.tie_break_seed = tie_break_seed
+        self._tie_rng = (_random.Random(tie_break_seed)
+                         if tie_break_seed is not None else None)
+        self.sanitizer: Optional[RaceSanitizer] = None
+        if sanitize:
+            mode = sanitize if isinstance(sanitize, str) else "raise"
+            self.sanitizer = RaceSanitizer(mode=mode)
 
     # -- clock --------------------------------------------------------------
 
@@ -365,7 +403,11 @@ class Environment:
     # -- scheduling / execution ----------------------------------------------
 
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        seq = next(self._seq)
+        tie = 0.0 if self._tie_rng is None else self._tie_rng.random()
+        if self.sanitizer is not None:
+            self.sanitizer.on_schedule(seq, event)
+        heapq.heappush(self._queue, (self._now + delay, priority, tie, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if queue is empty."""
@@ -375,9 +417,20 @@ class Environment:
         """Process the next scheduled event."""
         if not self._queue:
             raise SimulationError("nothing scheduled")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, prio, _tie, seq, event = heapq.heappop(self._queue)
         self._now = when
-        event._run_callbacks()
+        if self.sanitizer is None:
+            event._run_callbacks()
+            return
+        # Sanitize mode: make this environment's sanitizer visible to
+        # instrumented shared state for the duration of the callbacks.
+        self.sanitizer.begin_event(when, prio, seq, event)
+        previous = _san._active
+        _san._active = self.sanitizer
+        try:
+            event._run_callbacks()
+        finally:
+            _san._active = previous
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run the simulation.
@@ -419,10 +472,15 @@ class Environment:
                 self.step()
         except StopSimulation:
             ev = stop_value[0]
+            if self.sanitizer is not None:
+                self.sanitizer.flush()
             if not ev._ok:
                 ev._defused = True
                 raise ev._value
             return ev._value
+        if self.sanitizer is not None:
+            # The final tie group has no successor to trigger its analysis.
+            self.sanitizer.flush()
         if target is not None:
             raise SimulationError("run(until=event): queue drained before event triggered")
         if deadline != float("inf"):

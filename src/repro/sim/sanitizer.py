@@ -1,0 +1,200 @@
+"""Runtime race sanitizer — same-timestamp conflict detection.
+
+The kernel's determinism contract orders same-``(time, priority)`` events
+only by the scheduling sequence counter (``seq``). That makes every run
+reproducible, but it also means a pair of *causally unrelated* events at an
+identical ``(time, priority)`` whose effects conflict — both write the same
+shared state, or one reads what the other writes — produce a result that
+depends on nothing but the tie-breaker. Such code is deterministic by
+accident: any refactor that perturbs scheduling order (batching, sharding,
+a new subscriber) silently changes behaviour.
+
+``Environment(sanitize=True)`` turns on this sanitizer. Instrumented shared
+state (service contexts, the lookup registry, RPC export tables, metrics
+instruments) reports per-event read/write sets through :func:`record`; when
+the kernel finishes a tie group (all events at one ``(time, priority)``),
+the sanitizer flags every conflicting pair of *concurrent* events as a
+:class:`SanitizerViolation` carrying both event provenances.
+
+Access kinds
+------------
+* ``"r"``  — read; conflicts with any write.
+* ``"w"``  — order-sensitive write (last-writer-wins, e.g. ``Gauge.set``,
+  ``ServiceContext.put_value``); conflicts with everything.
+* ``"cw"`` — commutative write (counter increments, histogram observations);
+  conflicts with reads and plain writes but *not* with other commutative
+  writes, whose order cannot matter.
+
+Causality suppression
+---------------------
+An event scheduled while event *A* is executing can never run before *A*,
+whatever the tie-breaker does, so conflicts along a scheduling ancestry
+chain are not races. The kernel reports each scheduled event's parent via
+:meth:`RaceSanitizer.on_schedule`; conflicting pairs where one event is a
+scheduling ancestor of the other are suppressed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["RaceSanitizer", "SanitizerViolation", "record"]
+
+#: The sanitizer of the environment currently stepping, or ``None``.
+#: Instrumented shared state guards its recording on this being set, which
+#: keeps the disabled-mode overhead to one module-attribute load per access.
+_active: Optional["RaceSanitizer"] = None
+
+
+class SanitizerViolation(AssertionError):
+    """Two same-``(time, priority)`` events raced on shared state.
+
+    Carries enough provenance to identify both sides: the simulated time
+    and priority of the tie group, the human-readable label of the state
+    that was touched, and for each event its scheduling sequence number,
+    name and the access kinds it performed.
+    """
+
+    def __init__(self, time: float, priority: int, label: str,
+                 first: tuple, second: tuple):
+        self.time = time
+        self.priority = priority
+        self.label = label
+        #: ``(seq, event_name, kinds)`` for each conflicting event.
+        self.first = first
+        self.second = second
+        super().__init__(
+            f"tie-break race at t={time:g} (priority {priority}) on {label}: "
+            f"event #{first[0]} {first[1]!r} ({'/'.join(sorted(first[2]))}) "
+            f"vs event #{second[0]} {second[1]!r} "
+            f"({'/'.join(sorted(second[2]))}) — outcome depends only on the "
+            f"scheduling tie-breaker")
+
+
+def record(key: Any, kind: str, label: str) -> None:
+    """Report one shared-state access to the active sanitizer (if any).
+
+    Hot paths inline the ``_active is None`` guard instead of paying a
+    call; this helper is for call sites where an extra function call is
+    immaterial.
+    """
+    if _active is not None:
+        _active.record(key, kind, label)
+
+
+def _conflict(kinds_a: set, kinds_b: set) -> bool:
+    """Do two events' access-kind sets on one key conflict?
+
+    A plain write conflicts with anything; a read conflicts with either
+    write kind; two commutative writes do not conflict with each other.
+    """
+    if "w" in kinds_a or "w" in kinds_b:
+        return True
+    if "r" in kinds_a and "cw" in kinds_b:
+        return True
+    if "cw" in kinds_a and "r" in kinds_b:
+        return True
+    return False
+
+
+def _event_name(event: Any) -> str:
+    name = getattr(event, "name", None)
+    if name:
+        return f"{type(event).__name__}:{name}"
+    return type(event).__name__
+
+
+class RaceSanitizer:
+    """Collects per-event access sets and analyses each tie group.
+
+    ``mode`` is ``"raise"`` (default: the first violation is raised out of
+    :meth:`Environment.step` / :meth:`Environment.run`) or ``"record"``
+    (violations accumulate in :attr:`violations` and the run continues).
+    """
+
+    def __init__(self, mode: str = "raise"):
+        if mode not in ("raise", "record"):
+            raise ValueError(f"mode must be 'raise' or 'record', got {mode!r}")
+        self.mode = mode
+        self.violations: list[SanitizerViolation] = []
+        #: seq -> seq of the event that was executing when it was scheduled.
+        self._parent: dict[int, int] = {}
+        self._current: Optional[int] = None
+        self._group_key: Optional[tuple] = None
+        #: key -> list of (seq, kind) accesses within the current tie group.
+        self._accesses: dict[Any, list[tuple]] = {}
+        self._labels: dict[Any, str] = {}
+        #: seq -> event name, for the current tie group's members.
+        self._names: dict[int, str] = {}
+
+    # -- kernel hooks ---------------------------------------------------------
+
+    def on_schedule(self, seq: int, event: Any) -> None:
+        """The kernel scheduled ``event`` under sequence number ``seq``."""
+        if self._current is not None:
+            self._parent[seq] = self._current
+
+    def begin_event(self, when: float, priority: int, seq: int,
+                    event: Any) -> None:
+        """The kernel is about to process one popped event occurrence."""
+        key = (when, priority)
+        if key != self._group_key:
+            self.flush()
+            self._group_key = key
+        self._current = seq
+        self._names[seq] = _event_name(event)
+
+    def record(self, key: Any, kind: str, label: str) -> None:
+        """One access to the shared state identified by ``key``."""
+        if self._current is None:
+            return  # outside event processing (setup code): not a tie hazard
+        self._accesses.setdefault(key, []).append((self._current, kind))
+        if key not in self._labels:
+            self._labels[key] = label
+
+    # -- analysis -------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Analyse and discard the current tie group; raise on conflicts
+        (in ``raise`` mode)."""
+        accesses, self._accesses = self._accesses, {}
+        labels, self._labels = self._labels, {}
+        names, self._names = self._names, {}
+        group_key, self._group_key = self._group_key, None
+        self._current = None
+        if group_key is None:
+            return
+        when, priority = group_key
+        for key, entries in accesses.items():
+            kinds_of: dict[int, set] = {}
+            for seq, kind in entries:
+                kinds_of.setdefault(seq, set()).add(kind)
+            if len(kinds_of) < 2:
+                continue
+            seqs = sorted(kinds_of)
+            for i, a in enumerate(seqs):
+                for b in seqs[i + 1:]:
+                    if not _conflict(kinds_of[a], kinds_of[b]):
+                        continue
+                    if self._is_ancestor(a, b):
+                        continue
+                    violation = SanitizerViolation(
+                        when, priority, labels.get(key, repr(key)),
+                        (a, names.get(a, "?"), frozenset(kinds_of[a])),
+                        (b, names.get(b, "?"), frozenset(kinds_of[b])))
+                    self.violations.append(violation)
+                    if self.mode == "raise":
+                        raise violation
+
+    def _is_ancestor(self, ancestor_seq: int, seq: int) -> bool:
+        """Is ``ancestor_seq`` on ``seq``'s scheduling-parent chain?
+
+        Parents always carry smaller sequence numbers than their children
+        (the parent occurrence was pushed before it executed, and it
+        executed before pushing the child), so the walk is strictly
+        decreasing and can stop early.
+        """
+        node = seq
+        while node is not None and node > ancestor_seq:
+            node = self._parent.get(node)
+        return node == ancestor_seq

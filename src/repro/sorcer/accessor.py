@@ -79,7 +79,9 @@ class ServiceAccessor:
         deadline = self.env.now + wait
         while True:
             merged: dict[str, ServiceItem] = {}
-            for lus_id, ref in list(self.discovery.registrars.items()):
+            # Registrars query in discovery order (insertion-ordered dict).
+            for lus_id, ref in list(  # repro: allow[DET003]
+                    self.discovery.registrars.items()):
                 try:
                     found = yield self._endpoint.call(
                         ref, "lookup", template, max_matches,

@@ -13,6 +13,8 @@ from __future__ import annotations
 import copy
 from typing import Any, Iterator, Optional
 
+from ..sim import sanitizer as _san
+
 __all__ = ["ServiceContext", "ContextError"]
 
 _MISSING = object()
@@ -46,10 +48,16 @@ class ServiceContext:
     # -- core access -----------------------------------------------------------
 
     def put_value(self, path: str, value: Any) -> "ServiceContext":
+        if _san._active is not None:
+            _san._active.record(("ctx", id(self), path), "w",
+                                f"ServiceContext {self.name!r} path {path!r}")
         self._data[_validate_path(path)] = value
         return self
 
     def get_value(self, path: str, default: Any = _MISSING) -> Any:
+        if _san._active is not None:
+            _san._active.record(("ctx", id(self), path), "r",
+                                f"ServiceContext {self.name!r} path {path!r}")
         value = self._data.get(_validate_path(path), _MISSING)
         if value is _MISSING:
             if default is _MISSING:

@@ -24,7 +24,7 @@ from ..net.host import Host
 from ..net.rpc import RemoteRef, rpc_endpoint
 from ..observability import (get_trace_parent, metrics_registry,
                              set_trace_parent, tracer_of)
-from ..sim import Resource
+from ..sim import Interrupt, Resource
 from .exertion import Exertion, ExertionStatus, Task, TraceRecord
 from .security import AccessPolicy, AuthorizationError
 
@@ -167,6 +167,8 @@ class ServiceProvider:
             exertion.status = ExertionStatus.RUNNING
             try:
                 result = yield from self._execute(exertion, txn_id)
+            except Interrupt:
+                raise
             except Exception as exc:  # noqa: BLE001 - reported in the exertion
                 exertion.report_exception(exc)
                 self.stats["failed"] += 1

@@ -1,0 +1,127 @@
+"""Runtime race sanitizer: same-(time, priority) events with conflicting
+shared-state accesses must be flagged; causal chains and commutative
+updates must not."""
+
+import pytest
+
+from repro.observability.registry import MetricsRegistry
+from repro.sim import Environment, SanitizerViolation
+from repro.sorcer.context import ServiceContext
+
+
+def test_same_time_conflicting_writers_raise():
+    env = Environment(sanitize=True)
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth")
+
+    def writer(value):
+        yield env.timeout(1.0)
+        gauge.set(value)
+
+    env.process(writer(1))
+    env.process(writer(2))
+    with pytest.raises(SanitizerViolation) as excinfo:
+        env.run()
+    message = str(excinfo.value)
+    assert "gauge 'depth'" in message
+    assert "t=1" in message
+
+
+def test_write_read_race_on_service_context():
+    env = Environment(sanitize=True)
+    ctx = ServiceContext("shared")
+
+    def writer():
+        yield env.timeout(2.0)
+        ctx.put_value("in/value", 41)
+
+    def reader():
+        yield env.timeout(2.0)
+        ctx.get_value("in/value", None)
+
+    env.process(writer())
+    env.process(reader())
+    with pytest.raises(SanitizerViolation) as excinfo:
+        env.run()
+    assert "in/value" in str(excinfo.value)
+
+
+def test_distinct_paths_do_not_conflict():
+    env = Environment(sanitize=True)
+    ctx = ServiceContext("shared")
+
+    def writer(path):
+        yield env.timeout(1.0)
+        ctx.put_value(path, 1)
+
+    env.process(writer("in/a"))
+    env.process(writer("in/b"))
+    env.run()  # no violation
+
+
+def test_commutative_increments_do_not_conflict():
+    env = Environment(sanitize=True)
+    registry = MetricsRegistry()
+    counter = registry.counter("hits")
+
+    def bump():
+        yield env.timeout(1.0)
+        counter.inc()
+
+    env.process(bump())
+    env.process(bump())
+    env.run()
+    assert counter.value == 2.0
+
+
+def test_causal_chain_at_same_time_is_not_a_race():
+    env = Environment(sanitize=True)
+    ctx = ServiceContext("shared")
+
+    def parent():
+        yield env.timeout(1.0)
+        ctx.put_value("in/value", 1)
+        # Triggered *during* this event: same (time, priority) tie group,
+        # but causally ordered after us — the tie-breaker cannot reorder
+        # it before, so the conflicting write is not a race.
+        follow_up = env.event()
+        follow_up.callbacks.append(lambda _ev: ctx.put_value("in/value", 2))
+        follow_up.succeed()
+
+    env.process(parent())
+    env.run()  # no violation
+    assert ctx.get_value("in/value") == 2
+
+
+def test_sanitizer_off_by_default():
+    env = Environment()
+    assert env.sanitizer is None
+    ctx = ServiceContext("shared")
+
+    def writer(value):
+        yield env.timeout(1.0)
+        ctx.put_value("in/value", value)
+
+    env.process(writer(1))
+    env.process(writer(2))
+    env.run()  # conflicting, but nobody is watching
+
+
+def test_record_mode_collects_instead_of_raising():
+    env = Environment(sanitize="record")
+    ctx = ServiceContext("shared")
+
+    def writer(value):
+        yield env.timeout(1.0)
+        ctx.put_value("in/value", value)
+
+    env.process(writer(1))
+    env.process(writer(2))
+    env.run()
+    assert len(env.sanitizer.violations) == 1
+    violation = env.sanitizer.violations[0]
+    assert violation.time == 1.0
+    first_seq, first_name, first_kinds = violation.first
+    second_seq, second_name, second_kinds = violation.second
+    assert first_seq != second_seq
+    assert "w" in first_kinds and "w" in second_kinds

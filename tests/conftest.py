@@ -1,6 +1,25 @@
 """Global test configuration."""
 
+import pytest
 from hypothesis import HealthCheck, settings
+
+#: Seeds the shuffle-harness fixture runs under. Three is the floor the
+#: determinism contract asks for; CI additionally runs the integration
+#: suite under REPRO_SHUFFLE_SEED as a matrix job.
+SHUFFLE_SEEDS = (11, 23, 47)
+
+
+@pytest.fixture(params=SHUFFLE_SEEDS)
+def shuffle_seed(request, monkeypatch):
+    """Parametrize a test over tie-break shuffle seeds.
+
+    Sets ``REPRO_SHUFFLE_SEED`` so every :class:`repro.sim.Environment`
+    built inside the test randomizes same-(time, priority) event order
+    with that seed. Use it in tests asserting order-robustness.
+    """
+    from repro.sim.core import SHUFFLE_SEED_ENV
+    monkeypatch.setenv(SHUFFLE_SEED_ENV, str(request.param))
+    return request.param
 
 # Simulation-heavy property tests can blow hypothesis's per-example
 # deadline on a cold interpreter; wall-clock time is not what these tests

@@ -12,9 +12,13 @@ Expected trees are written as nested tuples::
     ])
 
 Names match with :mod:`fnmatch` wildcards, so ``"exert:collect-*"`` works.
-A matched span must contain every expected child, in order; actual extra
-children are tolerated (infrastructure spans come and go with timing knobs,
-the assertions pin down what *must* be there).
+A matched span must contain every expected child in simulated-time order;
+actual extra children are tolerated (infrastructure spans come and go with
+timing knobs, the assertions pin down what *must* be there). Siblings that
+*start at the same simulated time* have no contract-defined order — the
+kernel's determinism contract only fixes it via the scheduling tie-breaker,
+which the shuffle harness (``REPRO_SHUFFLE_SEED``) deliberately randomizes
+— so the matcher accepts any permutation among same-start siblings.
 """
 
 from __future__ import annotations
@@ -39,21 +43,25 @@ def _match_spec(tracer: Tracer, span: Span, spec, path: str,
     if children is Ellipsis:
         return True
     actual = tracer.children(span)
-    cursor = 0
+    used: set[int] = set()
+    last_start = float("-inf")
     for child_spec in children:
         found = None
-        for index in range(cursor, len(actual)):
-            if _match_spec(tracer, actual[index], child_spec,
+        for index, candidate in enumerate(actual):
+            if index in used or candidate.started_at < last_start:
+                continue
+            if _match_spec(tracer, candidate, child_spec,
                            f"{path}/{span.name}", errors):
                 found = index
                 break
         if found is None:
             errors.append(
                 f"under {path}/{span.name}: no child matching "
-                f"{child_spec[0]!r} (after position {cursor}); actual "
-                f"children: {[c.name for c in actual]}")
+                f"{child_spec[0]!r} (starting at or after t={last_start:g}); "
+                f"actual children: {[c.name for c in actual]}")
             return False
-        cursor = found + 1
+        used.add(found)
+        last_start = actual[found].started_at
     return True
 
 
