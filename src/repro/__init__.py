@@ -18,7 +18,9 @@ Layers (bottom up):
   network manager, provisioner;
 * :mod:`repro.baselines` — direct-IP collection and TCI/SSP/ASP;
 * :mod:`repro.scenarios` — canned deployments (the paper-lab of Fig 2);
-* :mod:`repro.metrics` — experiment recording and tables.
+* :mod:`repro.metrics` — experiment recording and tables;
+* :mod:`repro.chaos` — seeded fault campaigns, end-to-end invariants and
+  failure-schedule shrinking over all of the above.
 
 Quick start::
 
@@ -48,6 +50,7 @@ import importlib
 _SUBPACKAGES = frozenset({
     "analysis",
     "baselines",
+    "chaos",
     "core",
     "expr",
     "jini",

@@ -1,4 +1,4 @@
-"""Determinism lint rules — the rule registry and the six stock rules.
+"""Determinism lint rules — the rule registry and the stock rules.
 
 Each rule inspects one parsed module (a :class:`ModuleInfo`) and yields
 ``(line, message)`` pairs; the driver in :mod:`repro.analysis.linter` turns
@@ -14,6 +14,8 @@ DET003   unordered iteration (set/frozenset/dict views) feeding
          scheduling or fan-out calls without ``sorted(...)``
 DET004   ``sum()``/``+=`` accumulation over sets (float addition is
          order-sensitive)
+DET005   direct ``random.Random(...)`` construction outside the
+         sanctioned substream helper (:mod:`repro.util.rng`)
 SIM001   broad ``except`` in a generator process body that can swallow
          :class:`~repro.sim.Interrupt` without re-raising
 SIM002   ``yield`` of a statically-known non-event in a process
@@ -392,6 +394,41 @@ class UnorderedAccumulationRule(Rule):
                                "+= accumulation while iterating a set: the "
                                "reduction order is whatever the hash layout "
                                "gives")
+
+
+# ---------------------------------------------------------------------------
+# DET005 — ad-hoc random.Random construction
+
+
+@register
+class AdHocRandomRule(Rule):
+    rule_id = "DET005"
+    summary = "direct random.Random construction bypasses the substream scheme"
+    hint = ("derive generators with repro.util.rng.substream(seed, *names) "
+            "so streams are domain-separated; the sim kernel's tie-break "
+            "RNG is the sanctioned exception (`# repro: allow[DET005]`)")
+
+    def check(self, module: ModuleInfo) -> Iterator[tuple]:
+        random_aliases = module.aliases_of("random")
+        # "from random import Random [as R]" bindings.
+        class_names = {
+            name for name, (mod, orig) in module.from_imports.items()
+            if mod == "random" and orig == "Random"}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in random_aliases
+                    and func.attr == "Random"):
+                yield (node.lineno,
+                       f"{func.value.id}.Random(...) creates an ad-hoc "
+                       f"stream outside the substream scheme")
+            elif isinstance(func, ast.Name) and func.id in class_names:
+                yield (node.lineno,
+                       f"{func.id}(...) creates an ad-hoc stream outside "
+                       f"the substream scheme")
 
 
 # ---------------------------------------------------------------------------

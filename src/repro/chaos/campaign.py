@@ -1,0 +1,273 @@
+"""Campaigns — N seeded chaos plans against a scenario, with verdicts.
+
+A campaign run is: build the scenario fresh, settle, start a steady
+workload, execute the seed's fault plan, quiesce, then judge every
+invariant. The verdict is plain data with canonical JSON rendering —
+``repro chaos run --json`` is byte-identical across invocations of the
+same build (and across ``REPRO_SHUFFLE_SEED`` values: nothing in the
+pipeline depends on tie-break order).
+
+The scenario seed stays fixed (the deployment under test is a constant);
+the *campaign* seed varies and fully determines the fault schedule.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim import Interrupt
+from .injectors import InjectorEngine
+from .invariants import RunRecord, builtin_invariants, evaluate_invariants
+from .plan import ChaosPlan, TargetCatalog
+
+__all__ = ["CampaignConfig", "CampaignRunner", "ScenarioContext",
+           "SCENARIOS", "verdict_json", "campaign_json",
+           "mttr_from_transitions"]
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs shared by every run of a campaign."""
+
+    horizon: float = 90.0          # total simulated seconds per run
+    settle: float = 6.0            # discovery/join convergence time
+    workload_period: float = 2.0   # seconds between workload requests
+    stop_margin: float = 15.0      # stop issuing this long before horizon
+    convergence_windows: int = 25  # health must recover within K windows
+    scenario_seed: int = 2009      # the deployment under test is fixed
+    min_events: int = 2
+    max_events: int = 5
+
+
+@dataclass
+class ScenarioContext:
+    """Everything the runner needs from a built scenario."""
+
+    env: object
+    net: object
+    catalog: TargetCatalog
+    request: object                 # generator fn(target) -> value
+    targets: list                   # workload rotation
+    lus: object = None
+    txn_managers: tuple = ()
+    spaces: tuple = ()
+    health: object = None
+    tracer: object = None
+    prepare: object = None          # optional one-shot setup generator fn
+
+
+def _build_paper_lab(config: CampaignConfig) -> ScenarioContext:
+    from ..observability import tracer_of
+    from ..scenarios.paper_lab import SENSOR_NAMES, build_paper_lab
+    lab = build_paper_lab(seed=config.scenario_seed)
+    sensors = list(SENSOR_NAMES)
+    sensor_hosts = [f"{name.split('-')[0].lower()}-host" for name in sensors]
+    catalog = TargetCatalog(
+        crash_hosts=sensor_hosts + ["cybernode-0", "cybernode-1",
+                                    "composite-host"],
+        link_pairs=([(host, "persimmon") for host in sensor_hosts]
+                    + [(host, "composite-host") for host in sensor_hosts]
+                    + [("composite-host", "facade-host")]),
+        churn_services=sensors + ["Composite-Service"])
+
+    def prepare():
+        yield from lab.browser.compose_service(
+            "Composite-Service",
+            ["Neem-Sensor", "Jade-Sensor", "Diamond-Sensor"])
+        yield from lab.browser.add_expression(
+            "Composite-Service", "(a + b + c)/3")
+
+    return ScenarioContext(
+        env=lab.env, net=lab.net, catalog=catalog,
+        request=lab.browser.get_value,
+        targets=sensors + ["Composite-Service"],
+        lus=lab.lus, txn_managers=(lab.txn_manager,), spaces=(),
+        health=lab.health, tracer=tracer_of(lab.net), prepare=prepare)
+
+
+#: Scenario registry: name -> factory(config) -> ScenarioContext.
+SCENARIOS = {"paper-lab": _build_paper_lab}
+
+
+def mttr_from_transitions(transitions) -> dict:
+    """Recovery accounting from the health model's transition log.
+
+    An incident opens when an entity leaves UP and closes when it returns;
+    the intermediate DEGRADED→DOWN hops stay inside one incident.
+    """
+    open_since: dict = {}
+    durations: list = []
+    for transition in transitions:
+        entity = transition["entity"]
+        if transition["from"] == "UP" and transition["to"] != "UP":
+            open_since.setdefault(entity, transition["t"])
+        elif transition["to"] == "UP" and entity in open_since:
+            durations.append(transition["t"] - open_since.pop(entity))
+    mttr = (round(sum(durations) / len(durations), 3)
+            if durations else None)
+    return {"incidents": len(durations) + len(open_since),
+            "recovered": len(durations),
+            "unrecovered": len(open_since),
+            "mttr": mttr}
+
+
+class CampaignRunner:
+    """Runs seeded chaos plans against one scenario and collects verdicts."""
+
+    def __init__(self, scenario: str = "paper-lab",
+                 config: Optional[CampaignConfig] = None,
+                 invariants: Optional[list] = None,
+                 scenario_factory=None):
+        if scenario_factory is None and scenario not in SCENARIOS:
+            raise ValueError(f"unknown scenario {scenario!r}; "
+                             f"known: {', '.join(sorted(SCENARIOS))}")
+        self.scenario = scenario
+        self.config = config if config is not None else CampaignConfig()
+        self._factory = (scenario_factory if scenario_factory is not None
+                         else SCENARIOS[scenario])
+        self._invariants = invariants
+
+    # -- plan derivation -------------------------------------------------------
+
+    def plan_for(self, seed: int) -> ChaosPlan:
+        """The seed's fault schedule (no simulation; pure derivation)."""
+        context = self._factory(self.config)
+        return self._generate(seed, context.catalog)
+
+    def _generate(self, seed: int, catalog: TargetCatalog) -> ChaosPlan:
+        return ChaosPlan.generate(
+            seed, catalog, scenario=self.scenario,
+            horizon=self.config.horizon,
+            min_events=self.config.min_events,
+            max_events=self.config.max_events)
+
+    # -- execution -------------------------------------------------------------
+
+    def run_seed(self, seed: int) -> dict:
+        return self.run_plan(None, seed=seed)
+
+    def run_plan(self, plan: Optional[ChaosPlan], seed: Optional[int] = None,
+                 invariants: Optional[list] = None) -> dict:
+        """Execute one campaign run; returns the verdict dict."""
+        config = self.config
+        context = self._factory(config)
+        env = context.env
+        if plan is None:
+            plan = self._generate(seed, context.catalog)
+        env.run(until=env.now + config.settle)
+        counts = {"issued": 0, "completed": 0, "failed": 0, "inflight": 0}
+        engine = InjectorEngine(context.net, lus=context.lus,
+                                txn_manager=(context.txn_managers[0]
+                                             if context.txn_managers else None),
+                                seed=plan.seed)
+        engine.apply(plan)
+        env.process(self._workload(context, counts,
+                                   stop_at=plan.horizon - config.stop_margin),
+                    name="chaos-workload")
+        env.run(until=plan.horizon)
+        if context.health is not None:
+            # Make sure the horizon state got judged — but never evaluate
+            # the same timestamp twice (the at-risk hysteresis counts
+            # evaluations, so a double tick manufactures DEGRADED).
+            last = context.health.model._last
+            if last is None or last["t"] != env.now:
+                context.health.tick(env.now)
+        record = RunRecord(
+            env=env, net=context.net, plan=plan, health=context.health,
+            tracer=context.tracer, txn_managers=context.txn_managers,
+            spaces=context.spaces, issued=counts["issued"],
+            completed=counts["completed"], failed=counts["failed"],
+            inflight=counts["inflight"],
+            health_interval=(context.health.interval
+                             if context.health is not None else 1.0))
+        invariants = (invariants if invariants is not None
+                      else self._invariants)
+        if invariants is None:
+            invariants = builtin_invariants(
+                convergence_windows=config.convergence_windows)
+        results = evaluate_invariants(record, invariants)
+        transitions = (context.health.model.transitions
+                       if context.health is not None else [])
+        verdict = {
+            "seed": plan.seed,
+            "scenario": self.scenario,
+            "ok": all(result.ok for result in results),
+            "plan": plan.to_dict(),
+            "invariants": [result.to_dict() for result in results],
+            "workload": {key: counts[key] for key in sorted(counts)},
+            "faults": {"applied": {kind: engine.applied[kind]
+                                   for kind in sorted(engine.applied)},
+                       "links": engine.link_stats()},
+            "recovery": mttr_from_transitions(transitions),
+        }
+        return verdict
+
+    def run(self, seeds) -> dict:
+        """Run every seed; returns the campaign summary (JSON-ready)."""
+        runs = [self.run_seed(seed) for seed in seeds]
+        passed = sum(1 for run in runs if run["ok"])
+        mttrs = [run["recovery"]["mttr"] for run in runs
+                 if run["recovery"]["mttr"] is not None]
+        failures: dict = {}
+        for run in runs:
+            for result in run["invariants"]:
+                if not result["ok"]:
+                    failures[result["name"]] = failures.get(result["name"], 0) + 1
+        return {
+            "scenario": self.scenario,
+            "seeds": list(seeds),
+            "passed": passed,
+            "failed": len(runs) - passed,
+            "pass_rate": round(passed / len(runs), 4) if runs else None,
+            "mean_mttr": (round(sum(mttrs) / len(mttrs), 3)
+                          if mttrs else None),
+            "invariant_failures": failures,
+            "runs": runs,
+        }
+
+    # -- workload ---------------------------------------------------------------
+
+    def _workload(self, context: ScenarioContext, counts: dict,
+                  stop_at: float):
+        env = context.env
+        if context.prepare is not None:
+            try:
+                yield from context.prepare()
+            except Interrupt:
+                raise
+            except Exception:
+                pass  # chaos may already be biting; elementary reads remain
+        index = 0
+        while env.now < stop_at:
+            target = context.targets[index % len(context.targets)]
+            index += 1
+            env.process(self._request(context, target, counts),
+                        name=f"chaos-request:{target}")
+            yield env.timeout(self.config.workload_period)
+
+    def _request(self, context: ScenarioContext, target: str, counts: dict):
+        counts["issued"] += 1
+        counts["inflight"] += 1
+        try:
+            yield from context.request(target)
+        except Interrupt:
+            counts["inflight"] -= 1
+            raise
+        except Exception:
+            counts["failed"] += 1
+            counts["inflight"] -= 1
+            return
+        counts["completed"] += 1
+        counts["inflight"] -= 1
+
+
+def verdict_json(verdict: dict) -> str:
+    """Canonical byte-stable JSON for one run verdict."""
+    return json.dumps(verdict, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def campaign_json(summary: dict) -> str:
+    """Canonical byte-stable JSON for a whole campaign."""
+    return json.dumps(summary, sort_keys=True, separators=(",", ":")) + "\n"

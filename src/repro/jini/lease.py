@@ -126,6 +126,16 @@ class Landlord:
         """Drop all leases without firing ``on_expire`` (process death)."""
         self._leases.clear()
 
+    def force_expire(self, lease_id: int) -> bool:
+        """Lapse a lease *now* (fault injection / admin eviction): the next
+        :meth:`reap` fires ``on_expire`` exactly as a missed renewal would.
+        Returns False for an unknown lease."""
+        record = self._leases.get(lease_id)
+        if record is None:
+            return False
+        record.expiration = self.env.now
+        return True
+
     def reap(self) -> list[Any]:
         """Expire all lapsed leases; returns their resource ids."""
         now = self.env.now

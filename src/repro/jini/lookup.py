@@ -113,6 +113,21 @@ class LookupService:
                          name=f"lus-sweep:{self.lus_id[:8]}")
         self.env.process(self._announcer(), name=f"lus-announce:{self.lus_id[:8]}")
 
+    def expire_registrations(self, name: Optional[str] = None) -> int:
+        """Admin/chaos hook: lapse the lease of every registration whose
+        service name matches ``name`` (all of them when ``None``). The
+        sweeper then reaps them exactly like missed renewals — the holder
+        sees ``UnknownLeaseError`` on its next renew and re-registers.
+        Returns the number of leases lapsed."""
+        count = 0
+        for service_id, item in sorted(self._items.items()):
+            if name is not None and item.name() != name:
+                continue
+            lease_id = self._lease_of_service.get(service_id)
+            if lease_id is not None and self._landlord.force_expire(lease_id):
+                count += 1
+        return count
+
     def _announce_payload(self):
         return (self.lus_id, self.ref, tuple(sorted(self.groups)))
 

@@ -25,7 +25,22 @@ from .message import Message
 if TYPE_CHECKING:  # pragma: no cover
     from .host import Host
 
-__all__ = ["Network", "TrafficStats"]
+__all__ = ["Network", "TrafficStats", "LinkDecision"]
+
+
+@dataclass(frozen=True)
+class LinkDecision:
+    """Verdict of a link filter about one in-flight message.
+
+    ``drop`` suppresses delivery (counted in :attr:`TrafficStats.dropped`);
+    ``extra_delay`` is added to the latency model's draw (reordering falls
+    out of unequal extra delays); ``copies`` schedules duplicate deliveries,
+    one per entry, each offset from the (delayed) base delivery time.
+    """
+
+    drop: bool = False
+    extra_delay: float = 0.0
+    copies: tuple = ()
 
 
 @dataclass
@@ -106,10 +121,16 @@ class Network:
         self.groups: dict[str, set[str]] = defaultdict(set)
         #: Unordered host-name pairs that cannot currently talk.
         self._cut_links: set[frozenset] = set()
+        #: Ordered (src, dst) pairs cut in one direction only — asymmetric
+        #: partitions (e.g. A hears B but B no longer hears A).
+        self._cut_directed: set[tuple] = set()
         self.stats = TrafficStats()
         #: Instrumentation taps: callables invoked with every sent message
         #: (after sizes are finalized, before loss/partition decisions).
         self._taps: list = []
+        #: Link filters: chaos-injection hooks consulted per message after
+        #: the loss model; each returns ``None`` or a :class:`LinkDecision`.
+        self._link_filters: list = []
 
     def tap(self, fn) -> None:
         """Register a message observer (benchmark instrumentation)."""
@@ -118,6 +139,20 @@ class Network:
     def untap(self, fn) -> None:
         try:
             self._taps.remove(fn)
+        except ValueError:
+            pass
+
+    def add_link_filter(self, fn) -> None:
+        """Register a chaos link filter: ``fn(msg) -> LinkDecision | None``.
+
+        Filters see every message that passed the sender/partition/loss
+        checks and may drop, delay or duplicate it. Duplicates do not pass
+        back through the filters (no recursive chaos)."""
+        self._link_filters.append(fn)
+
+    def remove_link_filter(self, fn) -> None:
+        try:
+            self._link_filters.remove(fn)
         except ValueError:
             pass
 
@@ -161,8 +196,17 @@ class Network:
             for b in side_b:
                 self.heal_link(a, b)
 
+    def cut_link_directed(self, src: str, dst: str) -> None:
+        """Cut only the ``src`` → ``dst`` direction (asymmetric partition):
+        ``dst`` can still reach ``src``."""
+        self._cut_directed.add((src, dst))
+
+    def heal_link_directed(self, src: str, dst: str) -> None:
+        self._cut_directed.discard((src, dst))
+
     def reachable(self, src: str, dst: str) -> bool:
-        return frozenset((src, dst)) not in self._cut_links
+        return (frozenset((src, dst)) not in self._cut_links
+                and (src, dst) not in self._cut_directed)
 
     # -- delivery ---------------------------------------------------------------
 
@@ -190,8 +234,29 @@ class Network:
         if self.loss.dropped(msg.src, msg.dst, msg.total_bytes):
             self.stats.dropped += 1
             return
-        delay = self.latency.delay(msg.src, msg.dst, msg.total_bytes)
+        extra_delay = 0.0
+        copies: list = []
+        for flt in self._link_filters:
+            decision = flt(msg)
+            if decision is None:
+                continue
+            if decision.drop:
+                self.stats.dropped += 1
+                return
+            extra_delay += decision.extra_delay
+            copies.extend(decision.copies)
+        delay = self.latency.delay(msg.src, msg.dst, msg.total_bytes) + extra_delay
         self.env.process(self._deliver(msg, delay), name=f"deliver:{msg.kind}")
+        for stagger in copies:
+            dup = Message(
+                src=msg.src, dst=msg.dst, port=msg.port, kind=msg.kind,
+                payload=msg.payload, protocol=msg.protocol,
+                payload_bytes=msg.payload_bytes,
+                header_bytes=msg.header_bytes, sized=True)
+            dup.sent_at = msg.sent_at
+            self.stats.record(dup)
+            self.env.process(self._deliver(dup, delay + stagger),
+                             name=f"deliver-dup:{msg.kind}")
 
     def multicast(self, group: str, msg_template: Message) -> int:
         """Deliver a copy of the message to every group member except the

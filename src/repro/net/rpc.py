@@ -19,6 +19,7 @@ Failure semantics match the real thing: lost requests or replies surface as
 from __future__ import annotations
 
 import inspect
+from collections import deque
 from dataclasses import dataclass
 from itertools import count
 from typing import Any, Iterable, Optional
@@ -103,6 +104,13 @@ class RpcEndpoint:
         self._allowed: dict[str, Optional[frozenset]] = {}
         self._pending: dict[int, _PendingCall] = {}
         self._request_ids = count(1)
+        # Duplicate-request suppression: the network may deliver a request
+        # twice (chaos duplication models at-least-once links). Request ids
+        # are per-caller counters, so the dedup key includes the caller.
+        # Bounded window — old entries age out; callers never reuse ids.
+        self._seen_requests: set = set()
+        self._seen_order: deque = deque()
+        self._seen_limit = 4096
         self._tracer = tracer_of(host.network)
         registry = metrics_registry(host.network)
         self._m_calls = registry.counter("rpc.calls", host=host.name)
@@ -143,6 +151,13 @@ class RpcEndpoint:
 
     def _on_request(self, msg: Message) -> None:
         request_id, reply_to, object_id, method, args, kwargs = msg.payload
+        dedup_key = (reply_to, request_id)
+        if dedup_key in self._seen_requests:
+            return  # duplicate delivery: execute-at-most-once per request
+        self._seen_requests.add(dedup_key)
+        self._seen_order.append(dedup_key)
+        if len(self._seen_order) > self._seen_limit:
+            self._seen_requests.discard(self._seen_order.popleft())
         if _san._active is not None:
             _san._active.record(("rpc-exports", self.host.name), "r",
                                 f"RPC export table of host {self.host.name!r}")

@@ -409,8 +409,14 @@ class HealthMonitor:
         self.model.on_event(kind, fields)
 
     def _loop(self):
+        from ..sim import LOW
         while True:
-            yield self.env.timeout(self.interval)
+            # LOW priority: the management plane observes an instant only
+            # after the data plane settles it. Without this the beat races
+            # same-timestamp peers (the lease sweeper also runs on integer
+            # seconds) and tie-break shuffling flips which tick first sees
+            # an expiry — a one-window wobble in transition timestamps.
+            yield self.env.timeout(self.interval, priority=LOW)
             if not self.enabled:
                 continue
             self.tick(self.env.now)

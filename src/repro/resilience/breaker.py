@@ -50,6 +50,7 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.opened_at: Optional[float] = None
         self._probes_in_flight = 0
+        self._last_probe_at: Optional[float] = None
         #: Counters for observability.
         self.opens = 0
         self.refusals = 0
@@ -79,9 +80,18 @@ class CircuitBreaker:
                 return False
         if self.state is BreakerState.HALF_OPEN:
             if self._probes_in_flight >= self.half_open_probes:
-                self.refusals += 1
-                return False
+                # Stale-probe reclaim: a probe whose caller never recorded
+                # an outcome (crashed mid-call, outcome path skipped) must
+                # not pin the slot forever. After a full reset_timeout of
+                # silence the slot is taken back.
+                if (self._last_probe_at is not None
+                        and now - self._last_probe_at >= self.reset_timeout):
+                    self._probes_in_flight = 0
+                else:
+                    self.refusals += 1
+                    return False
             self._probes_in_flight += 1
+            self._last_probe_at = now
         return True
 
     def record_success(self, now: float) -> None:

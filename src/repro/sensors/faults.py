@@ -15,6 +15,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..util.rng import substream
+
 __all__ = ["FaultMode", "FaultSchedule", "FaultInjector", "ProbeFault"]
 
 
@@ -56,8 +58,17 @@ class FaultInjector:
                  noise_rate: float = 0.0,
                  hold: float = 30.0,
                  noisy_sigma: float = 5.0,
-                 drift_per_second: float = 0.0):
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+                 drift_per_second: float = 0.0,
+                 seed: Optional[int] = None,
+                 name: str = "probe"):
+        # Preferred seeding: a named substream under the scenario seed, so
+        # probe-fault hazards are independent of every other stream (chaos
+        # plans, latency, ...) — adding a new consumer elsewhere cannot
+        # shift fault timing. An explicit ``rng`` still wins (legacy tests).
+        if rng is None:
+            rng = (substream(seed, "sensors.faults", name)
+                   if seed is not None else np.random.default_rng(0))
+        self.rng = rng
         self.dropout_rate = dropout_rate
         self.stuck_rate = stuck_rate
         self.noise_rate = noise_rate

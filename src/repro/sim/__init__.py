@@ -1,6 +1,9 @@
 """Deterministic discrete-event simulation kernel (SimPy-like subset)."""
 
 from .core import (
+    LOW,
+    NORMAL,
+    URGENT,
     AllOf,
     AnyOf,
     Condition,
@@ -15,6 +18,9 @@ from .resources import Resource, Store
 from .sanitizer import RaceSanitizer, SanitizerViolation
 
 __all__ = [
+    "LOW",
+    "NORMAL",
+    "URGENT",
     "AllOf",
     "AnyOf",
     "Condition",

@@ -54,6 +54,11 @@ SHUFFLE_SEED_ENV = "REPRO_SHUFFLE_SEED"
 URGENT = 0
 #: Default scheduling priority.
 NORMAL = 1
+#: Priority for observers that must see an instant *after* it settles
+#: (management-plane beats). Priority ordering is preserved under tie-break
+#: shuffling — only same-priority peers get reordered — so a LOW timeout is
+#: a deterministic "run me last at this timestamp" request.
+LOW = 2
 
 
 class SimulationError(Exception):
@@ -170,14 +175,15 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` simulated seconds after creation."""
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):
+    def __init__(self, env: "Environment", delay: float, value: Any = None,
+                 priority: int = NORMAL):
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         super().__init__(env)
         self.delay = delay
         self._ok = True
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        env._schedule(self, priority, delay)
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
         raise SimulationError("Timeout cannot be retriggered")
@@ -366,7 +372,9 @@ class Environment:
             if from_env:
                 tie_break_seed = int(from_env)
         self.tie_break_seed = tie_break_seed
-        self._tie_rng = (_random.Random(tie_break_seed)
+        # The tie-break stream deliberately sits outside the substream
+        # scheme: it must not perturb (or be perturbed by) model RNG.
+        self._tie_rng = (_random.Random(tie_break_seed)  # repro: allow[DET005]
                          if tie_break_seed is not None else None)
         self.sanitizer: Optional[RaceSanitizer] = None
         if sanitize:
@@ -388,8 +396,9 @@ class Environment:
     def event(self) -> Event:
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+    def timeout(self, delay: float, value: Any = None,
+                priority: int = NORMAL) -> Timeout:
+        return Timeout(self, delay, value, priority)
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
         return Process(self, generator, name)

@@ -215,6 +215,15 @@ class Exerter:
                 last_error = exc
                 if isinstance(exc, _BREAKER_FAILURES):
                     self.breakers.record_failure(item.service_id, self.env.now)
+                else:
+                    # The host answered (RemoteError wraps a server-side
+                    # exception), so as far as the breaker is concerned the
+                    # provider is alive. Recording success also releases the
+                    # half-open probe slot this call may hold — without it a
+                    # probe ending in RemoteError pins the slot and the
+                    # breaker refuses every later acquire (stuck open for
+                    # deadline-bearing callers even after the link heals).
+                    self.breakers.record_success(item.service_id, self.env.now)
                 if attempt + 1 < attempts:
                     yield from self._backoff(policy, attempt, deadline,
                                              exertion.name, span=span)

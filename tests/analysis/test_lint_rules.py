@@ -148,6 +148,49 @@ def test_det004_clean_with_sorted():
         """, "DET004")
 
 
+# -- DET005: ad-hoc random.Random construction -------------------------------------
+
+
+def test_det005_flags_direct_random_random():
+    found = findings_for("""\
+        import random
+
+        def make_rng(seed):
+            return random.Random(seed)
+        """, "DET005")
+    assert [f.line for f in found] == [4]
+    assert "substream" in found[0].message
+
+
+def test_det005_flags_from_import_random():
+    found = findings_for("""\
+        from random import Random
+
+        def make_rng(seed):
+            return Random(seed + 7)
+        """, "DET005")
+    assert [f.line for f in found] == [4]
+
+
+def test_det005_clean_on_substream():
+    assert_clean("""\
+        from repro.util.rng import substream
+
+        def make_rng(seed):
+            return substream(seed, "sensors.faults", "probe")
+        """, "DET005")
+
+
+def test_det005_pragma_suppresses():
+    found = findings_for("""\
+        import random
+
+        def tie_break(seed):
+            return random.Random(seed)  # repro: allow[DET005]
+        """, "DET005")
+    assert found == []
+
+
 # -- SIM001: broad except around a yield ------------------------------------------
 
 

@@ -1,0 +1,73 @@
+"""Campaign runs: verdict determinism (including under tie-break
+shuffling), the pytest harness, and recovery accounting."""
+
+import pytest
+
+from repro.chaos import CampaignRunner, mttr_from_transitions, verdict_json
+from repro.chaos.testing import chaos_campaign
+
+
+def test_verdict_is_byte_identical_across_runs():
+    a = CampaignRunner("paper-lab").run_seed(3)
+    b = CampaignRunner("paper-lab").run_seed(3)
+    assert verdict_json(a) == verdict_json(b)
+
+
+def test_verdict_is_shuffle_invariant(shuffle_seed):
+    """The whole campaign pipeline — plan, injection, invariants, recovery
+    accounting — must not depend on same-timestamp tie-break order."""
+    shuffled = CampaignRunner("paper-lab").run_seed(3)
+    assert verdict_json(shuffled) == _BASELINE
+
+
+def _baseline():
+    import os
+    env_key = "REPRO_SHUFFLE_SEED"
+    saved = os.environ.pop(env_key, None)
+    try:
+        return verdict_json(CampaignRunner("paper-lab").run_seed(3))
+    finally:
+        if saved is not None:
+            os.environ[env_key] = saved
+
+
+_BASELINE = _baseline()
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        CampaignRunner("no-such-lab")
+
+
+def test_verdict_shape():
+    verdict = CampaignRunner("paper-lab").run_seed(5)
+    assert set(verdict) == {"seed", "scenario", "ok", "plan", "invariants",
+                            "workload", "faults", "recovery"}
+    assert verdict["seed"] == 5
+    assert verdict["workload"]["issued"] > 0
+    counts = verdict["workload"]
+    assert counts["issued"] == counts["completed"] + counts["failed"]
+    assert set(verdict["recovery"]) == {"incidents", "recovered",
+                                        "unrecovered", "mttr"}
+
+
+@chaos_campaign(seeds=[1, 4])
+def test_invariants_hold_via_harness(verdict):
+    assert verdict["ok"], [r for r in verdict["invariants"] if not r["ok"]]
+
+
+def test_mttr_accounting():
+    transitions = [
+        {"t": 10.0, "entity": "a", "from": "UP", "to": "DOWN"},
+        {"t": 12.0, "entity": "a", "from": "DOWN", "to": "DEGRADED"},
+        {"t": 16.0, "entity": "a", "from": "DEGRADED", "to": "UP"},
+        {"t": 20.0, "entity": "b", "from": "UP", "to": "DEGRADED"},
+    ]
+    out = mttr_from_transitions(transitions)
+    assert out == {"incidents": 2, "recovered": 1, "unrecovered": 1,
+                   "mttr": 6.0}
+
+
+def test_mttr_empty():
+    assert mttr_from_transitions([]) == {
+        "incidents": 0, "recovered": 0, "unrecovered": 0, "mttr": None}

@@ -1,0 +1,125 @@
+"""Invariant oracles: each flags its violation class and stays quiet on
+healthy records."""
+
+from types import SimpleNamespace
+
+from repro.chaos import ChaosPlan, FaultEvent, RunRecord, builtin_invariants
+from repro.chaos.invariants import (
+    BreakerLiberation,
+    HealthConvergence,
+    SimSanity,
+    WorkloadAccounting,
+)
+
+
+def make_record(**overrides):
+    plan = ChaosPlan(seed=1, scenario="unit", horizon=60.0,
+                     events=[FaultEvent("crash", "a", 10.0, 5.0)])
+    env = SimpleNamespace(now=60.0, sanitizer=None)
+    net = SimpleNamespace(hosts={})
+    defaults = dict(env=env, net=net, plan=plan, issued=4, completed=3,
+                    failed=1, inflight=0)
+    defaults.update(overrides)
+    return RunRecord(**defaults)
+
+
+def test_workload_accounting_clean():
+    assert WorkloadAccounting().check(make_record()).ok
+
+
+def test_workload_accounting_flags_lost_request():
+    result = WorkloadAccounting().check(
+        make_record(issued=5, completed=3, failed=1, inflight=1))
+    assert not result.ok
+    assert any("in flight" in v for v in result.violations)
+    assert any("issued 5" in v for v in result.violations)
+
+
+def test_sim_sanity_flags_horizon_overrun():
+    record = make_record()
+    record.env.now = 120.0
+    result = SimSanity().check(record)
+    assert not result.ok and "past horizon" in result.violations[0]
+
+
+def test_sim_sanity_flags_sanitizer_violations():
+    record = make_record()
+    record.env.sanitizer = SimpleNamespace(violations=["race at t=3"])
+    result = SimSanity().check(record)
+    assert not result.ok and "sanitizer" in result.violations[0]
+
+
+class _FakeModel:
+    def __init__(self, status, transitions):
+        self._status = status
+        self.transitions = transitions
+
+
+def test_health_convergence_clean_within_bound():
+    health = SimpleNamespace(model=_FakeModel(
+        {"node:a": "UP"},
+        [{"t": 12.0, "entity": "node:a", "from": "UP", "to": "DOWN"},
+         {"t": 20.0, "entity": "node:a", "from": "DOWN", "to": "UP"}]))
+    assert HealthConvergence(windows=25).check(
+        make_record(health=health)).ok
+
+
+def test_health_convergence_flags_unrecovered_entity():
+    health = SimpleNamespace(model=_FakeModel(
+        {"node:a": "DOWN"},
+        [{"t": 12.0, "entity": "node:a", "from": "UP", "to": "DOWN"}]))
+    result = HealthConvergence(windows=25).check(make_record(health=health))
+    assert not result.ok and "ended DOWN" in result.violations[0]
+
+
+def test_health_convergence_flags_late_recovery():
+    # Fault ends at 15.0; 5 windows of 1.0 → bound 20.0; recovery at 43.
+    health = SimpleNamespace(model=_FakeModel(
+        {"node:a": "UP"},
+        [{"t": 12.0, "entity": "node:a", "from": "UP", "to": "DOWN"},
+         {"t": 43.0, "entity": "node:a", "from": "DOWN", "to": "UP"}]))
+    result = HealthConvergence(windows=5).check(make_record(health=health))
+    assert not result.ok and "only recovered" in result.violations[0]
+
+
+def _host_with_breaker(breaker):
+    registry = SimpleNamespace(_breakers={"svc": breaker})
+    return SimpleNamespace(_breaker_registry=registry)
+
+
+def test_breaker_liberation_flags_wedged_half_open():
+    from repro.resilience import CircuitBreaker
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+    breaker.record_failure(0.0)            # -> OPEN at t=0
+    assert breaker.try_acquire(11.0)       # -> HALF_OPEN, probe pinned
+    # No outcome ever recorded; judged shortly after, before the stale
+    # probe becomes reclaimable: wedged.
+    record = make_record(net=SimpleNamespace(
+        hosts={"h": _host_with_breaker(breaker)}))
+    record.env.now = 15.0
+    result = BreakerLiberation().check(record)
+    assert not result.ok and "wedged half-open" in result.violations[0]
+
+
+def test_breaker_liberation_accepts_reclaimable_probe():
+    from repro.resilience import CircuitBreaker
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+    breaker.record_failure(0.0)
+    assert breaker.try_acquire(11.0)
+    record = make_record(net=SimpleNamespace(
+        hosts={"h": _host_with_breaker(breaker)}))
+    record.env.now = 30.0   # 19s of silence > reset_timeout: reclaimable
+    assert BreakerLiberation().check(record).ok
+
+
+def test_builtin_invariants_all_evaluate():
+    from repro.chaos import evaluate_invariants
+    results = evaluate_invariants(make_record(), builtin_invariants())
+    names = [r.name for r in results]
+    assert names == ["workload-accounting", "trace-integrity",
+                     "txn-atomicity", "space-exactly-once",
+                     "health-convergence", "breaker-liberation",
+                     "sim-sanity"]
+    assert all(r.ok for r in results)
+    assert all(set(r.to_dict()) == {"name", "ok", "violations"}
+               for r in results)

@@ -1,0 +1,79 @@
+"""Chaos plans: seed-determinism, canonical JSON, catalog filtering."""
+
+from repro.chaos import FAULT_KINDS, ChaosPlan, FaultEvent, TargetCatalog
+
+CATALOG = TargetCatalog(
+    crash_hosts=["alpha", "beta"],
+    link_pairs=[("alpha", "hub"), ("beta", "hub")],
+    churn_services=["Svc-A", "Svc-B"])
+
+
+def test_same_seed_same_plan():
+    a = ChaosPlan.generate(7, CATALOG)
+    b = ChaosPlan.generate(7, CATALOG)
+    assert a.to_json() == b.to_json()
+    assert a.events == b.events
+
+
+def test_different_seeds_differ():
+    plans = {ChaosPlan.generate(seed, CATALOG).to_json()
+             for seed in range(1, 9)}
+    assert len(plans) > 1
+
+
+def test_json_round_trip_is_identity():
+    plan = ChaosPlan.generate(11, CATALOG)
+    again = ChaosPlan.from_json(plan.to_json())
+    assert again.to_json() == plan.to_json()
+    assert again.events == plan.events
+    assert (again.seed, again.scenario, again.horizon) == (
+        plan.seed, plan.scenario, plan.horizon)
+
+
+def test_events_fall_in_fault_window():
+    for seed in range(1, 21):
+        plan = ChaosPlan.generate(seed, CATALOG, horizon=90.0,
+                                  min_events=2, max_events=5)
+        assert 2 <= len(plan.events) <= 5
+        for event in plan.events:
+            assert 10.0 <= event.start <= 90.0 * 0.55
+            assert event.duration > 0
+        # Sorted by (start, kind, target) — a stable execution order.
+        keys = [(e.start, e.kind, e.target) for e in plan.events]
+        assert keys == sorted(keys)
+
+
+def test_last_fault_end():
+    plan = ChaosPlan(seed=1, scenario="s", horizon=50.0, events=[
+        FaultEvent("crash", "a", 10.0, 5.0),
+        FaultEvent("crash", "b", 12.0, 9.0),
+    ])
+    assert plan.last_fault_end == 21.0
+    assert plan.replace([]).last_fault_end == 0.0
+
+
+def test_catalog_filters_unsupported_kinds():
+    no_links = TargetCatalog(crash_hosts=["a"], link_pairs=[],
+                             churn_services=[])
+    assert "partition" not in no_links.kinds
+    assert "link_chaos" not in no_links.kinds
+    assert "lease_churn" not in no_links.kinds
+    assert "crash" in no_links.kinds
+    assert "txn_abort" in no_links.kinds
+    # Generation still works from the reduced pool.
+    plan = ChaosPlan.generate(3, no_links)
+    assert all(e.kind in no_links.kinds for e in plan.events)
+
+
+def test_catalog_draw_covers_every_kind():
+    import numpy as np
+    rng = np.random.default_rng(0)
+    for kind in FAULT_KINDS:
+        target, params = CATALOG.draw(kind, rng)
+        assert isinstance(target, str) and target
+        if kind == "link_chaos":
+            assert set(params) == {"drop_rate", "dup_rate", "delay", "jitter"}
+        elif kind == "lease_churn":
+            assert params["interval"] >= 1.0
+        elif kind == "slowdown":
+            assert params["delay"] >= 0.1

@@ -1,7 +1,10 @@
 """Trace-based test assertions.
 
-Integration tests assert on the *shape* of a run — which hops happened,
-in what parent/child relation — instead of poking provider internals.
+The implementations live in :mod:`repro.chaos.invariants` now — the
+chaos engine's end-to-end oracles and the integration tests assert the
+same trace properties, so they share one matcher. This module keeps the
+historical import path for the test suite.
+
 Expected trees are written as nested tuples::
 
     ("exert:browser-getValue", [
@@ -11,21 +14,20 @@ Expected trees are written as nested tuples::
         ]),
     ])
 
-Names match with :mod:`fnmatch` wildcards, so ``"exert:collect-*"`` works.
-A matched span must contain every expected child in simulated-time order;
-actual extra children are tolerated (infrastructure spans come and go with
-timing knobs, the assertions pin down what *must* be there). Siblings that
-*start at the same simulated time* have no contract-defined order — the
-kernel's determinism contract only fixes it via the scheduling tie-breaker,
-which the shuffle harness (``REPRO_SHUFFLE_SEED``) deliberately randomizes
-— so the matcher accepts any permutation among same-start siblings.
+Names match with :mod:`fnmatch` wildcards; a matched span must contain
+every expected child in simulated-time order (same-start siblings in any
+permutation — their order is tie-breaker territory); extra children are
+tolerated.
 """
 
 from __future__ import annotations
 
-from fnmatch import fnmatchcase
-
-from repro.observability import Span, Tracer
+from repro.chaos.invariants import (
+    assert_no_orphan_spans,
+    assert_span_tree,
+    spans_between,
+    tree_shape,
+)
 
 __all__ = [
     "assert_span_tree",
@@ -33,85 +35,3 @@ __all__ = [
     "spans_between",
     "tree_shape",
 ]
-
-
-def _match_spec(tracer: Tracer, span: Span, spec, path: str,
-                errors: list) -> bool:
-    pattern, children = spec
-    if not fnmatchcase(span.name, pattern):
-        return False
-    if children is Ellipsis:
-        return True
-    actual = tracer.children(span)
-    used: set[int] = set()
-    last_start = float("-inf")
-    for child_spec in children:
-        found = None
-        for index, candidate in enumerate(actual):
-            if index in used or candidate.started_at < last_start:
-                continue
-            if _match_spec(tracer, candidate, child_spec,
-                           f"{path}/{span.name}", errors):
-                found = index
-                break
-        if found is None:
-            errors.append(
-                f"under {path}/{span.name}: no child matching "
-                f"{child_spec[0]!r} (starting at or after t={last_start:g}); "
-                f"actual children: {[c.name for c in actual]}")
-            return False
-        used.add(found)
-        last_start = actual[found].started_at
-    return True
-
-
-def assert_span_tree(tracer: Tracer, spec, root: Span = None) -> Span:
-    """Assert some recorded trace tree matches ``spec``; returns its root.
-
-    With ``root`` given, that specific tree must match. Otherwise every
-    recorded root is tried and one must match.
-    """
-    if root is not None:
-        errors: list = []
-        assert _match_spec(tracer, root, spec, "", errors), \
-            f"span tree rooted at {root.name!r} does not match {spec[0]!r}: " \
-            + "; ".join(errors)
-        return root
-    roots = tracer.roots()
-    for candidate in roots:
-        if _match_spec(tracer, candidate, spec, "", []):
-            return candidate
-    raise AssertionError(
-        f"no recorded trace matches {spec[0]!r}; roots: "
-        f"{[r.name for r in roots]}")
-
-
-def assert_no_orphan_spans(tracer: Tracer) -> None:
-    """Every parent link resolves and no span ends before it starts."""
-    for span in tracer.spans:
-        if span.parent_id is not None:
-            parent = tracer.get(span.parent_id)
-            assert parent is not None, \
-                f"{span.span_id} ({span.name!r}) links to unknown parent " \
-                f"{span.parent_id!r}"
-            assert parent.started_at <= span.started_at, \
-                f"{span.span_id} ({span.name!r}) starts before its parent"
-        if span.ended_at is not None:
-            assert span.ended_at >= span.started_at, \
-                f"{span.span_id} ({span.name!r}) ends before it starts"
-
-
-def spans_between(tracer: Tracer, start: float, end: float,
-                  kind: str = None) -> list:
-    """Spans that *started* within ``[start, end]`` simulation seconds."""
-    return [span for span in tracer.spans
-            if start <= span.started_at <= end
-            and (kind is None or span.kind == kind)]
-
-
-def tree_shape(tracer: Tracer, span: Span):
-    """The tree as nested ``(name, status, [children...])`` tuples —
-    a hashable shape for determinism comparisons."""
-    return (span.name, span.status,
-            tuple(tree_shape(tracer, child)
-                  for child in tracer.children(span)))

@@ -106,3 +106,40 @@ def test_registry_snapshot():
     registry.record_failure("b", 0.0)
     registry.record_success("a", 0.0)
     assert registry.snapshot() == {"a": "closed", "b": "open"}
+
+
+# -- stuck-half-open regression (probe in flight at heal time) ---------------------
+
+
+def test_half_open_probe_without_outcome_pins_slot_short_term():
+    """Inside the reset window an unresolved probe still holds its slot —
+    reclaiming immediately would let a herd through half-open."""
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+    breaker.record_failure(0.0)
+    assert breaker.try_acquire(11.0)       # half-open probe, never resolved
+    assert not breaker.try_acquire(12.0)
+    assert not breaker.try_acquire(20.9)
+
+
+def test_stale_half_open_probe_is_reclaimed():
+    """Regression: a probe whose caller never records an outcome (host
+    healed mid-call, outcome path skipped) must not wedge the breaker.
+    After a full reset_timeout of silence the slot is taken back."""
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+    breaker.record_failure(0.0)
+    assert breaker.try_acquire(11.0)       # probe pinned at t=11
+    assert not breaker.try_acquire(15.0)   # still wedged inside the window
+    assert breaker.try_acquire(21.5)       # 10.5s of silence: reclaimed
+    assert breaker.state is BreakerState.HALF_OPEN
+    breaker.record_success(22.0)
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_reclaimed_probe_updates_last_probe_time():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+    breaker.record_failure(0.0)
+    assert breaker.try_acquire(11.0)
+    assert breaker.try_acquire(25.0)       # reclaim; fresh probe at t=25
+    # The fresh probe now owns the slot: no second reclaim until t>=35.
+    assert not breaker.try_acquire(30.0)
+    assert breaker.try_acquire(35.0)

@@ -199,3 +199,65 @@ def test_identical_seeds_identical_event_traces():
     first, second = run_once(), run_once()
     assert first == second
     assert len(first) > 0
+
+
+# -- heal-time probe regression: RemoteError must release the probe slot ----------
+
+
+class FlakyProvider(Tasker):
+    """Echo provider whose ``boom`` op raises server-side."""
+
+    SERVICE_TYPES = ("Echo",)
+
+    def __init__(self, host, name="Echo", **kw):
+        super().__init__(host, name, **kw)
+        self.add_operation("echo", lambda ctx: ctx.get_value("arg/x"))
+        self.add_operation("boom", self._boom)
+
+    def _boom(self, ctx):
+        raise RuntimeError("application bug, host is fine")
+
+
+def test_remote_error_probe_does_not_wedge_breaker(grid):
+    """Reproduces the stuck-at-heal bug: the breaker opens while the host
+    is down; the host heals; the first (half-open) probe reaches the
+    provider but fails *server-side* (RemoteError). The host answered, so
+    the breaker must close and release the probe slot — before the fix the
+    slot stayed pinned and every later call was refused."""
+    env, net, lus = grid
+    host = Host(net, "echo-host")
+    provider = FlakyProvider(host)
+    provider.start()
+    exerter = Exerter(Host(net, "client"))
+
+    def boom_task(name="boom-task"):
+        ctx = ServiceContext()
+        ctx.put_in_value("arg/x", 0)
+        task = Task(name, Signature("Echo", "boom"), ctx)
+        task.control.retries = 0
+        task.control.invocation_timeout = 1.0
+        task.control.provider_wait = 2.0
+        return task
+
+    def proc():
+        yield env.timeout(2.0)
+        host.fail()
+        # Open the breaker: three timed-out attempts while the host is down.
+        yield env.process(exerter.exert(
+            echo_task(deadline=Deadline.after(env.now, 8.0),
+                      retries=2, timeout=1.0)))
+        assert exerter.breakers.snapshot() == {provider.service_id: "open"}
+        host.recover()
+        yield env.timeout(12.0)   # past reset_timeout: next call is a probe
+        # The healed host answers the probe with a server-side failure.
+        result = yield env.process(exerter.exert(boom_task()))
+        assert result.is_failed
+        assert exerter.breakers.snapshot() == {provider.service_id: "closed"}
+        # The slot was released: an ordinary call goes straight through.
+        t0 = env.now
+        result = yield env.process(exerter.exert(echo_task(name="after", x=9)))
+        return result, env.now - t0
+
+    result, elapsed = env.run(until=env.process(proc()))
+    assert result.is_done
+    assert elapsed < 1.0

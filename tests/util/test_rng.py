@@ -1,0 +1,65 @@
+"""Named RNG substreams: independence, reproducibility, and the
+regression the scheme exists for — adding a consumer cannot shift
+another stream's draws."""
+
+import numpy as np
+
+from repro.util.rng import stream_hash, substream
+
+
+def test_same_path_same_sequence():
+    a = substream(2009, "chaos", "plan")
+    b = substream(2009, "chaos", "plan")
+    assert np.array_equal(a.random(32), b.random(32))
+
+
+def test_distinct_paths_distinct_sequences():
+    draws = {name: substream(2009, name).random(8).tobytes()
+             for name in ("chaos", "sensors.faults", "latency")}
+    assert len(set(draws.values())) == len(draws)
+    # Path order matters: ("a","b") != ("b","a").
+    assert not np.array_equal(substream(1, "a", "b").random(4),
+                              substream(1, "b", "a").random(4))
+
+
+def test_substream_differs_from_plain_default_rng():
+    assert not np.array_equal(substream(7).random(4),
+                              np.random.default_rng(7).random(4))
+
+
+def test_stream_hash_is_stable_and_order_sensitive():
+    assert stream_hash("chaos", "plan") == stream_hash("chaos", "plan")
+    assert stream_hash("chaos", "plan") != stream_hash("plan", "chaos")
+    assert 0 <= stream_hash("x") <= 0xFFFFFFFF
+
+
+def test_probe_fault_timing_survives_new_chaos_stream():
+    """Regression for the unified seeding scheme: deriving (and draining)
+    a chaos substream must not move a single probe-fault hazard draw —
+    with a shared RNG it would shift every subsequent decision."""
+    from repro.sensors.faults import FaultInjector
+
+    def fault_timeline():
+        injector = FaultInjector(seed=2009, name="Neem-Sensor",
+                                 dropout_rate=0.05, stuck_rate=0.05,
+                                 hold=2.0)
+        return [injector.mode_at(float(t)).value for t in range(200)]
+
+    baseline = fault_timeline()
+    # A new consumer appears and draws heavily from the same seed.
+    substream(2009, "chaos", "plan").random(10_000)
+    assert fault_timeline() == baseline
+    # The timeline actually contains faults (the test bites something).
+    assert set(baseline) != {"ok"}
+
+
+def test_fault_injector_streams_are_per_probe():
+    from repro.sensors.faults import FaultInjector
+
+    def timeline(name):
+        injector = FaultInjector(seed=2009, name=name, dropout_rate=0.1,
+                                 hold=1.0)
+        return [injector.mode_at(float(t)).value for t in range(100)]
+
+    assert timeline("Neem-Sensor") != timeline("Jade-Sensor")
+    assert timeline("Neem-Sensor") == timeline("Neem-Sensor")
