@@ -22,6 +22,7 @@ from .injectors import InjectorEngine
 from .invariants import (
     Invariant,
     InvariantResult,
+    OverloadGraceful,
     RunRecord,
     builtin_invariants,
     evaluate_invariants,
@@ -34,8 +35,8 @@ __all__ = [
     "CampaignConfig", "CampaignRunner", "ScenarioContext", "SCENARIOS",
     "campaign_json", "verdict_json", "mttr_from_transitions",
     "InjectorEngine", "ChaosLink",
-    "Invariant", "InvariantResult", "RunRecord", "builtin_invariants",
-    "evaluate_invariants",
+    "Invariant", "InvariantResult", "OverloadGraceful", "RunRecord",
+    "builtin_invariants", "evaluate_invariants",
     "ChaosPlan", "FaultEvent", "TargetCatalog", "FAULT_KINDS",
     "ShrinkResult", "shrink_plan", "shrink_failing_seed",
 ]

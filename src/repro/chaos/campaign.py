@@ -56,6 +56,7 @@ class ScenarioContext:
     health: object = None
     tracer: object = None
     prepare: object = None          # optional one-shot setup generator fn
+    load_engine: object = None      # OpenLoopEngine (overload scenarios)
 
 
 def _build_paper_lab(config: CampaignConfig) -> ScenarioContext:
@@ -87,8 +88,62 @@ def _build_paper_lab(config: CampaignConfig) -> ScenarioContext:
         health=lab.health, tracer=tracer_of(lab.net), prepare=prepare)
 
 
+def _build_paper_lab_load(config: CampaignConfig) -> ScenarioContext:
+    """The paper lab behind admission control, under open-loop load.
+
+    Capacity is deliberately tight (2 slots, ~0.15s service time → ~13
+    req/s) against ~12 req/s offered, so the lab sits just below the knee
+    at baseline and every ``tenant-burst`` or ``slowdown`` pushes it past
+    saturation — the regime the overload oracle judges.
+    """
+    from ..observability import tracer_of
+    from ..load import TenantSpec, build_load_lab
+    from ..scenarios.paper_lab import SENSOR_NAMES
+    sensors = list(SENSOR_NAMES)
+    tenants = (
+        TenantSpec("gold", rate=6.0, weight=3.0, deadline=2.0,
+                   targets=SENSOR_NAMES),
+        TenantSpec("silver", rate=4.0, weight=2.0, deadline=2.0,
+                   targets=SENSOR_NAMES),
+        TenantSpec("bronze", rate=2.0, weight=1.0, deadline=2.0,
+                   targets=SENSOR_NAMES),
+    )
+    # The runner settles and starts the engine itself; arrivals stop at
+    # the same stop_margin as the closed-loop workload so health can
+    # converge inside the horizon.
+    duration = config.horizon - config.settle - config.stop_margin
+    load_lab = build_load_lab(
+        seed=config.scenario_seed, tenants=tenants, duration=duration,
+        scale=1.0, max_inflight=2, max_queue=8, esp_overhead=0.12,
+        settle=0.0)
+    lab = load_lab.lab
+    sensor_hosts = [f"{name.split('-')[0].lower()}-host" for name in sensors]
+    catalog = TargetCatalog(
+        crash_hosts=sensor_hosts + ["cybernode-0", "cybernode-1"],
+        link_pairs=[(host, "persimmon") for host in sensor_hosts],
+        churn_services=sensors,
+        kinds=("crash", "partition", "slowdown", "tenant-burst"),
+        tenants=tuple(spec.name for spec in tenants))
+
+    def prepare():
+        yield from lab.browser.compose_service(
+            "Composite-Service",
+            ["Neem-Sensor", "Jade-Sensor", "Diamond-Sensor"])
+        yield from lab.browser.add_expression(
+            "Composite-Service", "(a + b + c)/3")
+
+    return ScenarioContext(
+        env=lab.env, net=lab.net, catalog=catalog,
+        request=lab.browser.get_value,
+        targets=sensors + ["Composite-Service"],
+        lus=lab.lus, txn_managers=(lab.txn_manager,), spaces=(),
+        health=lab.health, tracer=tracer_of(lab.net), prepare=prepare,
+        load_engine=load_lab.engine)
+
+
 #: Scenario registry: name -> factory(config) -> ScenarioContext.
-SCENARIOS = {"paper-lab": _build_paper_lab}
+SCENARIOS = {"paper-lab": _build_paper_lab,
+             "paper-lab-load": _build_paper_lab_load}
 
 
 def mttr_from_transitions(transitions) -> dict:
@@ -161,11 +216,14 @@ class CampaignRunner:
         engine = InjectorEngine(context.net, lus=context.lus,
                                 txn_manager=(context.txn_managers[0]
                                              if context.txn_managers else None),
-                                seed=plan.seed)
+                                seed=plan.seed,
+                                load_engine=context.load_engine)
         engine.apply(plan)
         env.process(self._workload(context, counts,
                                    stop_at=plan.horizon - config.stop_margin),
                     name="chaos-workload")
+        if context.load_engine is not None:
+            env.process(context.load_engine.run(), name="load-engine")
         env.run(until=plan.horizon)
         if context.health is not None:
             # Make sure the horizon state got judged — but never evaluate
@@ -182,6 +240,8 @@ class CampaignRunner:
             inflight=counts["inflight"],
             health_interval=(context.health.interval
                              if context.health is not None else 1.0))
+        if context.load_engine is not None:
+            record.extra["load"] = context.load_engine.summary()
         invariants = (invariants if invariants is not None
                       else self._invariants)
         if invariants is None:
@@ -202,6 +262,10 @@ class CampaignRunner:
                        "links": engine.link_stats()},
             "recovery": mttr_from_transitions(transitions),
         }
+        if context.load_engine is not None:
+            # Load scenarios ship their traffic accounting in the verdict
+            # (scenarios without an engine keep the stock byte shape).
+            verdict["load"] = record.extra["load"]
         return verdict
 
     def run(self, seeds) -> dict:

@@ -23,12 +23,15 @@ __all__ = ["InjectorEngine"]
 class InjectorEngine:
     """Executes plan events against a network (and optional LUS/txn mgr)."""
 
-    def __init__(self, net, lus=None, txn_manager=None, seed: int = 0):
+    def __init__(self, net, lus=None, txn_manager=None, seed: int = 0,
+                 load_engine=None):
         self.net = net
         self.env = net.env
         self.lus = lus
         self.txn_manager = txn_manager
         self.seed = seed
+        #: OpenLoopEngine for tenant-burst faults (None = kind is a no-op).
+        self.load_engine = load_engine
         self._host_down: Counter = Counter()
         self._cuts: Counter = Counter()
         self._cuts_directed: Counter = Counter()
@@ -75,6 +78,15 @@ class InjectorEngine:
             yield from self._churn(event)
         elif kind == "txn_abort":
             yield from self._abort_active_txns()
+        elif kind == "tenant-burst":
+            if self.load_engine is not None:
+                # The burst self-expires at event.end (burst_factor checks
+                # the clock), so overlapping windows need no refcount: the
+                # widest window wins, which is what overload should see.
+                self.load_engine.burst(event.target,
+                                       float(event.params.get("factor", 10.0)),
+                                       until=event.end)
+            yield self.env.timeout(event.duration)
         else:
             raise ValueError(f"unknown fault kind {kind!r}")
 

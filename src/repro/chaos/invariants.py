@@ -28,8 +28,8 @@ from fnmatch import fnmatchcase
 from typing import Optional
 
 __all__ = [
-    "RunRecord", "InvariantResult", "Invariant", "builtin_invariants",
-    "evaluate_invariants",
+    "RunRecord", "InvariantResult", "Invariant", "OverloadGraceful",
+    "builtin_invariants", "evaluate_invariants",
     # promoted trace helpers (tests/helpers/tracing re-exports these)
     "assert_span_tree", "assert_no_orphan_spans", "spans_between",
     "tree_shape", "trace_integrity_violations",
@@ -322,6 +322,72 @@ class BreakerLiberation(Invariant):
         return out
 
 
+class OverloadGraceful(Invariant):
+    """Saturation stayed graceful: reads ``record.extra["load"]`` (an
+    :meth:`~repro.load.engine.OpenLoopEngine.summary`), vacuously passing
+    when no load engine ran. Checks
+
+    * accounting — every offered request is exactly one of completed /
+      rejected / failed, nothing in flight after drain (no lost-but-acked
+      exertions);
+    * bounded latency — admitted work's p99 stays under the tenants' max
+      deadline plus slack (queues are bounded, so waiting is too). The
+      default slack is one RPC timeout: chaos faults (slowdown links,
+      crashes mid-call) legitimately stretch an admitted request by up
+      to a timeout beyond its deadline, while unbounded queueing shows
+      up as tails of tens of seconds;
+    * goodput floor — completed-within-deadline work never collapses
+      below ``goodput_floor`` of offered load, however hard the engine
+      pushed past saturation;
+    * failure ceiling — shed load must be *rejected*, not failed: typed
+      rejections are the control plane working, failures are not.
+    """
+
+    name = "overload-graceful"
+
+    def __init__(self, p99_bound: Optional[float] = None,
+                 goodput_floor: float = 0.3,
+                 failure_ceiling: float = 0.25,
+                 p99_slack: float = 5.0):
+        self.p99_bound = p99_bound
+        self.goodput_floor = goodput_floor
+        self.failure_ceiling = failure_ceiling
+        self.p99_slack = p99_slack
+
+    def violations(self, record: RunRecord) -> list:
+        load = record.extra.get("load")
+        if not load:
+            return []
+        out = []
+        total = load["total"]
+        offered = total["offered"]
+        accounted = total["completed"] + total["rejected"] + total["failed"]
+        if offered != accounted:
+            out.append(f"load accounting: offered {offered} != completed "
+                       f"{total['completed']} + rejected {total['rejected']} "
+                       f"+ failed {total['failed']}")
+        if load.get("inflight"):
+            out.append(f"{load['inflight']} load request(s) still in flight "
+                       "after drain")
+        bound = (self.p99_bound if self.p99_bound is not None
+                 else load.get("deadline_max", 0.0) + self.p99_slack)
+        p99 = total["latency"].get("p99")
+        if p99 is not None and p99 > bound:
+            out.append(f"admitted-work p99 {p99:.3f}s exceeds bound "
+                       f"{bound:.3f}s")
+        if offered:
+            goodput_rate = total["goodput"] / offered
+            if goodput_rate < self.goodput_floor:
+                out.append(f"goodput collapsed: {goodput_rate:.3f} of "
+                           f"offered load < floor {self.goodput_floor}")
+            failure_rate = total["failed"] / offered
+            if failure_rate > self.failure_ceiling:
+                out.append(f"failure rate {failure_rate:.3f} over ceiling "
+                           f"{self.failure_ceiling} — overload must shed "
+                           "typed rejections, not failures")
+        return out
+
+
 class SimSanity(Invariant):
     """The kernel's own contract: time inside the horizon, no recorded
     race-sanitizer violations."""
@@ -349,6 +415,7 @@ def builtin_invariants(convergence_windows: int = 25) -> list:
         SpaceExactlyOnce(),
         HealthConvergence(windows=convergence_windows),
         BreakerLiberation(),
+        OverloadGraceful(),
         SimSanity(),
     ]
 

@@ -32,6 +32,8 @@ FAULT_KINDS = (
     "lease_churn",     # force-expire the target service's LUS lease every
                        # params["interval"] seconds inside the window
     "txn_abort",       # abort every ACTIVE transaction at window start
+    "tenant-burst",    # one tenant's offered load spikes by params["factor"]
+                       # for the window (needs a load engine attached)
 )
 
 _ROUND = 3  # decimals kept in generated/serialized floats
@@ -154,10 +156,14 @@ class TargetCatalog:
     """
 
     def __init__(self, crash_hosts, link_pairs, churn_services,
-                 kinds=FAULT_KINDS):
+                 kinds=FAULT_KINDS, tenants=()):
         self.crash_hosts = tuple(crash_hosts)
         self.link_pairs = tuple(tuple(pair) for pair in link_pairs)
         self.churn_services = tuple(churn_services)
+        #: Tenant names whose offered load a tenant-burst may spike.
+        #: Empty (the default) excludes the kind, so catalogs predating
+        #: load scenarios generate byte-identical plans.
+        self.tenants = tuple(tenants)
         self.kinds = tuple(k for k in kinds if self._supported(k))
 
     def _supported(self, kind: str) -> bool:
@@ -169,6 +175,8 @@ class TargetCatalog:
             return bool(self.crash_hosts)
         if kind == "lease_churn":
             return bool(self.churn_services)
+        if kind == "tenant-burst":
+            return bool(self.tenants)
         return kind == "txn_abort"
 
     def draw(self, kind: str, rng) -> tuple:
@@ -199,6 +207,9 @@ class TargetCatalog:
             return name, {"interval": _r(1.0 + float(rng.random()) * 2.0)}
         if kind == "txn_abort":
             return "*", {}
+        if kind == "tenant-burst":
+            tenant = self.tenants[int(rng.integers(len(self.tenants)))]
+            return tenant, {"factor": _r(4.0 + float(rng.random()) * 8.0)}
         raise ValueError(f"unknown fault kind {kind!r}")
 
 

@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..jini.template import ServiceTemplate
 from ..net.host import Host
+from ..overload import Overloaded, rejection_marker
 from ..sim import Interrupt
 from ..sorcer.accessor import ServiceAccessor
 from ..sorcer.context import ServiceContext
@@ -54,6 +55,11 @@ class SensorBrowser:
                               provider_name=self.facade_name), ctx)
         result = yield self.env.process(self.exerter.exert(task))
         if result.is_failed:
+            marker = rejection_marker(result.context)
+            if marker is not None:
+                # Shed, not broken: surface the typed rejection (with its
+                # retry-after hint) instead of a generic browser failure.
+                raise Overloaded.from_marker(marker)
             raise BrowserError(f"{selector} failed: {result.exceptions}")
         return result.get_return_value()
 

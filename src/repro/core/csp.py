@@ -24,7 +24,7 @@ from typing import Optional
 from ..expr import Expression, ExprError
 from ..jini.entries import SensorType
 from ..net.host import Host
-from ..observability import propagate_trace
+from ..observability import metrics_registry, propagate_trace
 from ..resilience import DEADLINE_PATH, Deadline, resilience_events
 from ..sensors.probe import Reading
 from ..sorcer.context import ServiceContext
@@ -80,6 +80,7 @@ class CompositeSensorProvider(ServiceProvider):
                  child_timeout: float = 10.0,
                  fault_policy: str = "strict",
                  stale_max_age: float = 30.0,
+                 coalesce: bool = False,
                  attributes: tuple = (),
                  **kwargs):
         """``child_timeout`` bounds each child invocation (sensor reads are
@@ -97,6 +98,14 @@ class CompositeSensorProvider(ServiceProvider):
           is younger than ``stale_max_age``. Variable bindings are
           preserved, so this is legal even with an expression attached;
           substitutions are flagged in the returned context/``Reading``.
+
+        ``coalesce=True`` shares one in-flight child collection among all
+        concurrent ``getValue`` queries: under read pressure N overlapping
+        reads cost one fan-out instead of N (the bindings are identical
+        anyway — the sensors can't have re-sampled mid-collection). Any
+        composition change bumps an epoch so joiners never see a fan-out
+        started against the old child set. Off by default: coalescing
+        trades read isolation for throughput, which only pays under load.
         """
         if fault_policy not in ("strict", "skip", "degraded"):
             raise ValueError(f"unknown fault_policy {fault_policy!r}")
@@ -118,6 +127,12 @@ class CompositeSensorProvider(ServiceProvider):
         self.last_known_good: dict[str, tuple[float, float]] = {}
         #: How many stale values this provider has served (observability).
         self.stale_substitutions = 0
+        #: Read coalescing: share one child fan-out among concurrent reads.
+        self.coalesce = coalesce
+        self._read_epoch = 0
+        self._inflight_read: Optional[tuple] = None
+        self._m_coalesced = metrics_registry(host.network).counter(
+            "csp.coalesced", provider=name)
         self.add_operation(OP_GET_VALUE, self._op_get_value)
         self.add_operation(OP_GET_READING, self._op_get_reading)
         self.add_operation(OP_GET_INFO, self._op_get_info)
@@ -142,6 +157,7 @@ class CompositeSensorProvider(ServiceProvider):
             raise CompositionError(
                 f"{display_name!r} ({service_id}) already composed in {self.name!r}")
         self.children.append(_Child(service_id, display_name))
+        self._read_epoch += 1
         return variable_name(len(self.children) - 1)
 
     def remove_child(self, service_id: str) -> None:
@@ -149,6 +165,7 @@ class CompositeSensorProvider(ServiceProvider):
         self.children = [c for c in self.children if c.service_id != service_id]
         if len(self.children) == before:
             raise CompositionError(f"{service_id!r} is not composed in {self.name!r}")
+        self._read_epoch += 1
         self._check_expression_bindings()
 
     def set_expression(self, text: Optional[str]) -> None:
@@ -165,6 +182,7 @@ class CompositeSensorProvider(ServiceProvider):
         except ExprError as exc:
             raise CompositionError(f"bad expression {text!r}: {exc}") from exc
         self.expression = expression
+        self._read_epoch += 1
         self._check_expression_bindings()
 
     def _check_expression_bindings(self) -> None:
@@ -263,6 +281,46 @@ class CompositeSensorProvider(ServiceProvider):
                 f"({len(failures)} failures)")
         return bindings, stale
 
+    def _collect_coalesced(self, visited: list,
+                           deadline: Optional[Deadline] = None,
+                           parent_ctx: Optional[ServiceContext] = None):
+        """Like :meth:`_collect`, but concurrent reads share one fan-out.
+
+        The first reader (the *leader*) runs the real collection; readers
+        arriving while it is in flight wait on its completion event and
+        reuse its bindings. The sharing token carries the composition
+        epoch, so a fan-out started before an add/remove/set_expression is
+        never joined afterwards. The event always *succeeds* — carrying an
+        ``("ok", ...)`` or ``("err", ...)`` outcome — because a failed
+        event with multiple observers would escape the scheduler.
+        """
+        if not self.coalesce:
+            result = yield from self._collect(visited, deadline, parent_ctx)
+            return result
+        token = self._inflight_read
+        if token is not None and token[0] == self._read_epoch:
+            self._m_coalesced.inc()
+            self.events.emit("csp_coalesced", composite=self.name)
+            outcome = yield token[1]
+            if outcome[0] == "ok":
+                return outcome[1], outcome[2]
+            raise CompositionError(outcome[1])
+        event = self.env.event()
+        self._inflight_read = (self._read_epoch, event)
+        try:
+            bindings, stale = yield from self._collect(visited, deadline,
+                                                       parent_ctx)
+        except BaseException as exc:
+            if self._inflight_read is not None \
+                    and self._inflight_read[1] is event:
+                self._inflight_read = None
+            event.succeed(("err", str(exc)))
+            raise
+        if self._inflight_read is not None and self._inflight_read[1] is event:
+            self._inflight_read = None
+        event.succeed(("ok", bindings, stale))
+        return bindings, stale
+
     def _op_get_value(self, ctx):
         visited = list(ctx.get_value(VISITED_PATH, []))
         if self.service_id in visited:
@@ -272,8 +330,8 @@ class CompositeSensorProvider(ServiceProvider):
         visited.append(self.service_id)
         expires_at = ctx.get_value(DEADLINE_PATH, None)
         deadline = Deadline(float(expires_at)) if expires_at is not None else None
-        bindings, stale = yield from self._collect(visited, deadline,
-                                                   parent_ctx=ctx)
+        bindings, stale = yield from self._collect_coalesced(visited, deadline,
+                                                             parent_ctx=ctx)
         if self.expression is not None:
             value = self.expression.evaluate(bindings)
         else:

@@ -29,7 +29,8 @@ from ..jini.entries import Name, SensorType
 from ..jini.template import ServiceItem, ServiceTemplate
 from ..net.host import Host
 from ..observability import propagate_trace
-from ..resilience import Deadline
+from ..overload import Overloaded, rejection_marker
+from ..resilience import DEADLINE_PATH, Deadline
 from ..sim import Interrupt
 from ..sorcer.context import ServiceContext
 from ..sorcer.exerter import Exerter
@@ -134,9 +135,21 @@ class SensorcerFacade(ServiceProvider):
                               service_id=item.service_id), ctx)
         task.control.invocation_timeout = self.MGMT_TIMEOUT
         task.control.provider_wait = 3.0
-        task.control.deadline = Deadline.after(self.env.now, self.MGMT_BUDGET)
+        budget = self.MGMT_BUDGET
+        if parent_ctx is not None:
+            # A caller-supplied deadline caps the management budget: the
+            # nested hop must not outlive the request it serves.
+            inherited = parent_ctx.get_value(DEADLINE_PATH, None)
+            if isinstance(inherited, (int, float)):
+                budget = min(budget, max(0.0, float(inherited) - self.env.now))
+        task.control.deadline = Deadline.after(self.env.now, budget)
         result = yield self.env.process(self.exerter.exert(task))
         if result.is_failed:
+            marker = rejection_marker(result.context)
+            if marker is not None:
+                # Typed propagation: our own service() wrapper re-marks the
+                # facade's result, so the browser sees Overloaded too.
+                raise Overloaded.from_marker(marker)
             raise FacadeError(
                 f"{selector} on {item.name()!r} failed: {result.exceptions}")
         return result.get_return_value()
@@ -192,7 +205,7 @@ class SensorcerFacade(ServiceProvider):
                 value = yield from self._exert_on(item, OP_GET_VALUE, {},
                                                   parent_ctx=ctx)
                 return value
-            except FacadeError:
+            except (FacadeError, Overloaded):
                 return None
 
         procs = {name: self.env.process(one(name), name=f"facade-batch:{name}")

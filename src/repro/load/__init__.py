@@ -1,0 +1,25 @@
+"""Open-loop load generation — the traffic side of the overload plane.
+
+:mod:`repro.overload` is the defence; this package is the attack: seeded
+Poisson (or trace-driven) multi-tenant requestors that keep arriving no
+matter how slow the system gets. Together they let E-LOAD demonstrate the
+tentpole property — *graceful saturation*: past the capacity knee the
+federation sheds excess load with typed rejections while goodput stays
+near its peak and admitted-work latency stays bounded, instead of every
+request timing out.
+"""
+
+from .curve import SWEEP_FULL, SWEEP_SMOKE, saturation_curve
+from .engine import OpenLoopEngine, TenantSpec
+from .scenario import DEFAULT_TENANTS, LoadLab, build_load_lab
+
+__all__ = [
+    "DEFAULT_TENANTS",
+    "LoadLab",
+    "OpenLoopEngine",
+    "SWEEP_FULL",
+    "SWEEP_SMOKE",
+    "TenantSpec",
+    "build_load_lab",
+    "saturation_curve",
+]

@@ -1,0 +1,41 @@
+"""The latency-vs-offered-load curve (experiment E-LOAD).
+
+Sweeps offered load across multiples of the default tenant mix, building
+a *fresh* lab per point (no warm caches or half-drained queues leaking
+between points), and reports per-point latency quantiles and goodput.
+The shape to expect from a graceful system: flat latency below the knee,
+then bounded latency for *admitted* work past it while rejections absorb
+the excess — goodput plateaus near capacity instead of collapsing.
+"""
+
+from __future__ import annotations
+
+from .scenario import build_load_lab
+
+__all__ = ["SWEEP_FULL", "SWEEP_SMOKE", "saturation_curve"]
+
+#: Offered-load multipliers: below, around and well past the knee.
+SWEEP_FULL = (0.4, 0.8, 1.2, 1.6, 2.4)
+SWEEP_SMOKE = (0.6, 1.2, 2.0)
+
+
+def saturation_curve(seed: int = 2009, multipliers=SWEEP_FULL,
+                     duration: float = 8.0, **lab_kwargs) -> dict:
+    """One curve: a list of per-multiplier summary points, JSON-ready."""
+    points = []
+    for multiplier in multipliers:
+        load_lab = build_load_lab(seed=seed, scale=float(multiplier),
+                                  duration=duration, **lab_kwargs)
+        summary = load_lab.run()
+        total = summary["total"]
+        points.append({
+            "scale": float(multiplier),
+            "offered": total["offered"],
+            "completed": total["completed"],
+            "goodput": total["goodput"],
+            "rejected": total["rejected"],
+            "failed": total["failed"],
+            "goodput_rate": total["goodput_rate"],
+            "latency": total["latency"],
+        })
+    return {"seed": seed, "duration": duration, "points": points}

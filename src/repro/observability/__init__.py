@@ -35,7 +35,7 @@ from .export import dump_jsonl, metrics_to_jsonl, trace_to_jsonl
 from .timeseries import TimeSeriesStore, Window
 from .slo import Alert, Slo, SloEngine
 from .health import (DEGRADED, DOWN, UP, HealthModel, HealthMonitor,
-                     default_slos, health_monitor)
+                     default_slos, health_monitor, overload_slos)
 from .status import render_health, render_status, status_json
 
 __all__ = [
@@ -61,6 +61,7 @@ __all__ = [
     "default_slos",
     "dump_jsonl",
     "health_monitor",
+    "overload_slos",
     "render_health",
     "render_status",
     "status_json",

@@ -38,7 +38,7 @@ from .slo import Slo, SloEngine
 from .timeseries import TimeSeriesStore
 
 __all__ = ["UP", "DEGRADED", "DOWN", "HealthModel", "HealthMonitor",
-           "default_slos", "health_monitor"]
+           "default_slos", "health_monitor", "overload_slos"]
 
 UP = "UP"
 DEGRADED = "DEGRADED"
@@ -458,6 +458,22 @@ def default_slos() -> list:
         Slo("rpc-timeout-rate", "rpc.timeouts", 1.0,
             sum_prefix=True, window=3, for_windows=2, clear_windows=2,
             description="network-wide RPC timeouts per second"),
+    ]
+
+
+def overload_slos(shed_rate: float = 5.0) -> list:
+    """SLOs for labs running an overload-control plane (installed by the
+    load scenario, *not* part of :func:`default_slos` — a lab without
+    admission control has no shed signal to watch).
+
+    Shedding is the control plane working as designed; *sustained*
+    shedding above ``shed_rate``/s means offered load persistently exceeds
+    provisioned capacity and someone should add capacity or fix a tenant.
+    """
+    return [
+        Slo("overload-shed-rate", "overload.rejected", shed_rate,
+            sum_prefix=True, window=3, for_windows=2, clear_windows=2,
+            description="requests shed by admission control per second"),
     ]
 
 

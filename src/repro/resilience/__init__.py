@@ -23,6 +23,7 @@ Components (each usable on its own):
 """
 
 from .breaker import BreakerRegistry, BreakerState, CircuitBreaker, CircuitOpenError
+from .budget import RetryBudget, retry_budget_of
 from .deadline import DEADLINE_PATH, Deadline, DeadlineExceeded
 from .events import ResilienceEvents, resilience_events
 from .policy import RetryPolicy, backoff_rng
@@ -36,7 +37,9 @@ __all__ = [
     "Deadline",
     "DeadlineExceeded",
     "ResilienceEvents",
+    "RetryBudget",
     "RetryPolicy",
     "backoff_rng",
     "resilience_events",
+    "retry_budget_of",
 ]

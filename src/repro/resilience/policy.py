@@ -59,6 +59,27 @@ class RetryPolicy:
             return raw
         return raw * (1.0 - self.jitter * float(rng.random()))
 
+    def delay_before_retry(self, attempt: int,
+                           rng: Optional[np.random.Generator] = None,
+                           deadline=None, now: float = 0.0) -> Optional[float]:
+        """The backoff to sleep before retry ``attempt`` — or ``None`` when
+        the retry is pointless because the deadline would expire during (or
+        immediately after) the sleep.
+
+        A retry scheduled past its own deadline burns a provider slot on
+        work whose answer nobody can use; under overload that wasted slot
+        is amplification. Checking *before* sleeping (rather than clamping
+        the sleep to the remaining budget) abandons such retries outright.
+
+        The jitter draw happens whether or not the retry is abandoned, so
+        the RNG stream stays aligned with runs where the deadline was
+        looser — abandoning a retry must not reshuffle later delays.
+        """
+        delay = self.delay(attempt, rng)
+        if deadline is not None and deadline.remaining(now) <= delay:
+            return None
+        return delay
+
     def total_budget(self, attempts: int) -> float:
         """Upper bound on the summed backoff across ``attempts`` retries."""
         return sum(min(self.max_delay, self.base_delay * self.multiplier ** a)

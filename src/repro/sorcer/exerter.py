@@ -35,6 +35,7 @@ from ..observability import (
     set_trace_parent,
     tracer_of,
 )
+from ..overload import rejection_marker
 from ..resilience import (
     DEADLINE_PATH,
     CircuitOpenError,
@@ -43,6 +44,7 @@ from ..resilience import (
     RetryPolicy,
     backoff_rng,
     resilience_events,
+    retry_budget_of,
 )
 from .accessor import ServiceAccessor
 from .exertion import Access, Exertion, Job, Task
@@ -86,6 +88,9 @@ class Exerter:
         self._m_failures = registry.counter("exertion.failures", host=host.name)
         #: Stable jitter stream: independent of all other RNGs in the run.
         self._rng = backoff_rng(host.name, salt=1)
+        #: Host-wide retry budget: retries are a fraction of successes, so
+        #: a brownout can never be amplified into a retry storm.
+        self.retry_budget = retry_budget_of(host)
         #: Rotates candidate lists so equivalent providers share the load.
         self._rotation = 0
 
@@ -120,9 +125,24 @@ class Exerter:
             raise
         self._m_latency.observe(self.env.now - started)
         if result.is_failed:
-            self._m_failures.inc()
-            span.end("failed")
+            marker = rejection_marker(result.context)
+            if marker is not None:
+                # Shed by admission control, not failed by a provider:
+                # keep it out of the failure rate (health/breakers must
+                # not read load shedding as provider sickness).
+                self.events.emit("overload_rejected",
+                                 exertion=exertion.name,
+                                 provider=marker.get("provider", ""),
+                                 reason=marker.get("reason", ""),
+                                 retry_after=marker.get("retry_after", 0.0))
+                span.annotate("overload_rejected",
+                              reason=marker.get("reason", ""))
+                span.end("shed")
+            else:
+                self._m_failures.inc()
+                span.end("failed")
         else:
+            self.retry_budget.deposit()
             span.end("ok")
         return result
 
@@ -159,10 +179,24 @@ class Exerter:
 
     def _backoff(self, policy: RetryPolicy, attempt: int,
                  deadline: Optional[Deadline], name: str, span=NULL_SPAN):
-        """Sleep the jittered backoff delay (clamped to the deadline)."""
-        delay = policy.delay(attempt, self._rng)
-        if deadline is not None:
-            delay = deadline.clamp(delay, self.env.now)
+        """Sleep the jittered backoff before retry ``attempt``; returns
+        ``True`` when the retry should proceed, ``False`` when it must be
+        abandoned (deadline would expire during the sleep, or the host's
+        retry budget is dry)."""
+        delay = policy.delay_before_retry(attempt, self._rng,
+                                          deadline=deadline, now=self.env.now)
+        if delay is None:
+            # The retry could never finish inside its own deadline —
+            # scheduling it would burn provider capacity on dead work.
+            self.events.emit("retry_abandoned", exertion=name,
+                             attempt=attempt)
+            span.annotate("retry_abandoned", attempt=attempt)
+            return False
+        if not self.retry_budget.try_spend():
+            self.events.emit("retry_budget_exhausted", exertion=name,
+                             attempt=attempt)
+            span.annotate("retry_budget_exhausted", attempt=attempt)
+            return False
         self._m_retries.inc()
         self.events.emit("retry_scheduled", exertion=name, attempt=attempt,
                          delay=round(delay, 6))
@@ -170,6 +204,7 @@ class Exerter:
                       delay=round(delay, 6))
         if delay > 0:
             yield self.env.timeout(delay)
+        return True
 
     def _invoke_candidates(self, exertion, items, txn_id,
                            failure_label: str, span=NULL_SPAN):
@@ -225,8 +260,14 @@ class Exerter:
                     # deadline-bearing callers even after the link heals).
                     self.breakers.record_success(item.service_id, self.env.now)
                 if attempt + 1 < attempts:
-                    yield from self._backoff(policy, attempt, deadline,
-                                             exertion.name, span=span)
+                    proceed = yield from self._backoff(
+                        policy, attempt, deadline, exertion.name, span=span)
+                    if not proceed:
+                        if deadline is not None and deadline.expired(self.env.now):
+                            self.events.emit("deadline_exceeded",
+                                             exertion=exertion.name)
+                            span.annotate("deadline_exceeded")
+                        break
         raise last_error if last_error is not None else RpcTimeout(
             f"{failure_label}: no attempt completed")
 

@@ -24,6 +24,8 @@ from ..net.host import Host
 from ..net.rpc import RemoteRef, rpc_endpoint
 from ..observability import (get_trace_parent, metrics_registry,
                              set_trace_parent, tracer_of)
+from ..overload import Overloaded, mark_overloaded
+from ..resilience import DEADLINE_PATH, Deadline
 from ..sim import Interrupt, Resource
 from .exertion import Exertion, ExertionStatus, Task, TraceRecord
 from .security import AccessPolicy, AuthorizationError
@@ -59,7 +61,8 @@ class ServiceProvider:
                  op_overhead: float = 0.0005,
                  lease_duration: float = 30.0,
                  max_concurrency: Optional[int] = None,
-                 access_policy: Optional[AccessPolicy] = None):
+                 access_policy: Optional[AccessPolicy] = None,
+                 admission=None):
         self.host = host
         self.env = host.env
         self.name = name
@@ -89,6 +92,10 @@ class ServiceProvider:
                       if max_concurrency else None)
         #: None = open access (the default lab configuration).
         self.access_policy = access_policy
+        #: Optional :class:`~repro.overload.AdmissionController`. None (the
+        #: default) means every request is admitted — existing labs keep
+        #: their exact behaviour.
+        self.admission = admission
         self.stats = {"served": 0, "failed": 0, "busy_time": 0.0}
         self.tracer = tracer_of(host.network)
         registry = metrics_registry(host.network)
@@ -159,16 +166,31 @@ class ServiceProvider:
             set_trace_parent(exertion.context, span.span_id)
         self._m_inflight.inc()
         grant = None
-        if self._gate is not None:
-            grant = self._gate.request()
-            yield grant
+        admitted = False
+        started = None
         try:
+            if self.admission is not None:
+                arrived = self.env.now
+                try:
+                    yield from self.admission.acquire(
+                        exertion.principal, self._inherited_deadline(exertion))
+                except Overloaded as exc:
+                    return self._shed(exertion, exc, arrived, span)
+                admitted = True
+            if self._gate is not None:
+                grant = self._gate.request()
+                yield grant
             started = self.env.now
             exertion.status = ExertionStatus.RUNNING
             try:
                 result = yield from self._execute(exertion, txn_id)
             except Interrupt:
                 raise
+            except Overloaded as exc:
+                # A downstream hop shed this exertion's nested work. We are
+                # alive and answering — propagate the rejection marker
+                # without counting a provider failure here.
+                return self._shed(exertion, exc, started, span)
             except Exception as exc:  # noqa: BLE001 - reported in the exertion
                 exertion.report_exception(exc)
                 self.stats["failed"] += 1
@@ -195,6 +217,34 @@ class ServiceProvider:
             span.end("error")  # no-op unless an unmodelled exception escaped
             if grant is not None:
                 self._gate.release(grant)
+            if admitted:
+                service_time = (self.env.now - started
+                                if started is not None else None)
+                self.admission.release(service_time=service_time)
+
+    def _inherited_deadline(self, exertion: Exertion) -> Optional[Deadline]:
+        """The end-to-end deadline this exertion travels under: its own
+        control deadline, or the expiry a parent hop forwarded in the
+        service context."""
+        if exertion.control.deadline is not None:
+            return exertion.control.deadline
+        expires_at = exertion.context.get_value(DEADLINE_PATH, None)
+        if isinstance(expires_at, (int, float)):
+            return Deadline(float(expires_at))
+        return None
+
+    def _shed(self, exertion: Exertion, exc: Overloaded, started: float,
+              span) -> Exertion:
+        """Fail the exertion as *shed*: the failed result carries the
+        rejection marker, and neither ``provider.failed`` nor ``stats``
+        count it — a shedding provider is healthy, not failing."""
+        exertion.report_exception(exc)
+        mark_overloaded(exertion.context, exc)
+        self._trace(exertion, started, note=f"shed: {exc.reason}")
+        span.annotate("overload_shed", reason=exc.reason,
+                      tenant=exc.tenant)
+        span.end("shed")
+        return exertion
 
     def _execute(self, exertion: Exertion, txn_id: Optional[int]):
         """Default behaviour: dispatch a task's selector to an operation.

@@ -71,3 +71,31 @@ def test_mttr_accounting():
 def test_mttr_empty():
     assert mttr_from_transitions([]) == {
         "incidents": 0, "recovered": 0, "unrecovered": 0, "mttr": None}
+
+
+# -- paper-lab-load: overload under chaos --------------------------------------
+
+
+def test_load_scenario_verdict_carries_traffic_accounting():
+    verdict = CampaignRunner("paper-lab-load").run_seed(1)
+    assert set(verdict) == {"seed", "scenario", "ok", "plan", "invariants",
+                            "workload", "faults", "recovery", "load"}
+    load = verdict["load"]
+    total = load["total"]
+    assert total["offered"] > 0
+    assert total["offered"] == (total["completed"] + total["rejected"]
+                                + total["failed"])
+    assert load["inflight"] == 0
+    assert any(r["name"] == "overload-graceful"
+               for r in verdict["invariants"])
+
+
+def test_load_scenario_verdict_byte_identical_across_runs():
+    a = CampaignRunner("paper-lab-load").run_seed(2)
+    b = CampaignRunner("paper-lab-load").run_seed(2)
+    assert verdict_json(a) == verdict_json(b)
+
+
+@chaos_campaign(seeds=[1, 2, 3], scenario="paper-lab-load")
+def test_overload_invariants_hold_under_chaos(verdict):
+    assert verdict["ok"], [r for r in verdict["invariants"] if not r["ok"]]

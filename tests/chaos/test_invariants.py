@@ -119,7 +119,86 @@ def test_builtin_invariants_all_evaluate():
     assert names == ["workload-accounting", "trace-integrity",
                      "txn-atomicity", "space-exactly-once",
                      "health-convergence", "breaker-liberation",
-                     "sim-sanity"]
+                     "overload-graceful", "sim-sanity"]
     assert all(r.ok for r in results)
     assert all(set(r.to_dict()) == {"name", "ok", "violations"}
                for r in results)
+
+
+# -- overload-graceful ---------------------------------------------------------
+
+
+def _load_summary(**overrides):
+    """A drained, healthy OpenLoopEngine.summary() shape."""
+    summary = {
+        "inflight": 0,
+        "deadline_max": 2.0,
+        "total": {"offered": 100, "completed": 70, "goodput": 65,
+                  "rejected": 28, "failed": 2,
+                  "latency": {"p50": 0.1, "p95": 0.9, "p99": 1.4},
+                  "goodput_rate": 0.65},
+    }
+    summary["total"].update(overrides.pop("total", {}))
+    summary.update(overrides)
+    return summary
+
+
+def _overload_record(load):
+    record = make_record()
+    if load is not None:
+        record.extra["load"] = load
+    return record
+
+
+def test_overload_graceful_vacuous_without_load_engine():
+    from repro.chaos import OverloadGraceful
+    assert OverloadGraceful().check(_overload_record(None)).ok
+
+
+def test_overload_graceful_clean():
+    from repro.chaos import OverloadGraceful
+    assert OverloadGraceful().check(_overload_record(_load_summary())).ok
+
+
+def test_overload_graceful_flags_lost_requests():
+    from repro.chaos import OverloadGraceful
+    result = OverloadGraceful().check(_overload_record(
+        _load_summary(total={"completed": 60})))  # 60+28+2 != 100
+    assert not result.ok and "load accounting" in result.violations[0]
+
+
+def test_overload_graceful_flags_undrained_inflight():
+    from repro.chaos import OverloadGraceful
+    result = OverloadGraceful().check(_overload_record(
+        _load_summary(inflight=3)))
+    assert not result.ok and "still in flight" in result.violations[0]
+
+
+def test_overload_graceful_flags_unbounded_latency():
+    from repro.chaos import OverloadGraceful
+    # Default bound = deadline_max + one RPC timeout = 7s.
+    result = OverloadGraceful().check(_overload_record(
+        _load_summary(total={"latency": {"p50": 1.0, "p95": 5.0,
+                                         "p99": 8.5}})))
+    assert not result.ok and "p99" in result.violations[0]
+    # An explicit bound overrides the deadline-derived one.
+    tight = OverloadGraceful(p99_bound=1.0).check(
+        _overload_record(_load_summary()))
+    assert not tight.ok and "bound 1.000s" in tight.violations[0]
+
+
+def test_overload_graceful_flags_goodput_collapse():
+    from repro.chaos import OverloadGraceful
+    result = OverloadGraceful(goodput_floor=0.5).check(_overload_record(
+        _load_summary(total={"goodput": 10, "goodput_rate": 0.1})))
+    assert not result.ok and "goodput collapsed" in result.violations[0]
+
+
+def test_overload_graceful_flags_failures_over_ceiling():
+    from repro.chaos import OverloadGraceful
+    # Shed-as-failure instead of typed rejection: 40 failed of 100.
+    result = OverloadGraceful().check(_overload_record(
+        _load_summary(total={"completed": 40, "rejected": 20,
+                             "failed": 40, "goodput": 38,
+                             "goodput_rate": 0.38})))
+    assert not result.ok and "typed rejections" in result.violations[0]

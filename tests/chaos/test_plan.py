@@ -5,7 +5,8 @@ from repro.chaos import FAULT_KINDS, ChaosPlan, FaultEvent, TargetCatalog
 CATALOG = TargetCatalog(
     crash_hosts=["alpha", "beta"],
     link_pairs=[("alpha", "hub"), ("beta", "hub")],
-    churn_services=["Svc-A", "Svc-B"])
+    churn_services=["Svc-A", "Svc-B"],
+    tenants=["gold", "bronze"])
 
 
 def test_same_seed_same_plan():
@@ -58,11 +59,33 @@ def test_catalog_filters_unsupported_kinds():
     assert "partition" not in no_links.kinds
     assert "link_chaos" not in no_links.kinds
     assert "lease_churn" not in no_links.kinds
+    assert "tenant-burst" not in no_links.kinds  # no tenant pool
     assert "crash" in no_links.kinds
     assert "txn_abort" in no_links.kinds
     # Generation still works from the reduced pool.
     plan = ChaosPlan.generate(3, no_links)
     assert all(e.kind in no_links.kinds for e in plan.events)
+
+
+def test_tenantless_catalog_plans_unchanged_by_tenant_burst_kind():
+    """Scenarios without a load engine keep their existing plan bytes:
+    the tenant-burst kind only enters the pool when tenants exist."""
+    tenantless = TargetCatalog(
+        crash_hosts=CATALOG.crash_hosts, link_pairs=CATALOG.link_pairs,
+        churn_services=CATALOG.churn_services)
+    for seed in range(1, 11):
+        plan = ChaosPlan.generate(seed, tenantless)
+        assert all(e.kind != "tenant-burst" for e in plan.events)
+
+
+def test_tenant_burst_draw_targets_a_tenant_with_factor():
+    import numpy as np
+    rng = np.random.default_rng(4)
+    for _ in range(20):
+        target, params = CATALOG.draw("tenant-burst", rng)
+        assert target in ("gold", "bronze")
+        assert set(params) == {"factor"}
+        assert 4.0 <= params["factor"] <= 12.0
 
 
 def test_catalog_draw_covers_every_kind():
@@ -77,3 +100,5 @@ def test_catalog_draw_covers_every_kind():
             assert params["interval"] >= 1.0
         elif kind == "slowdown":
             assert params["delay"] >= 0.1
+        elif kind == "tenant-burst":
+            assert params["factor"] >= 4.0

@@ -1,0 +1,107 @@
+"""CSP read coalescing: concurrent ``getValue`` exertions share one
+child fan-out instead of multiplying it N-fold under pressure."""
+
+import pytest
+
+from repro.core import (
+    OP_GET_VALUE,
+    SENSOR_DATA_ACCESSOR,
+)
+from repro.net import Host
+from repro.observability import metrics_registry
+from repro.sorcer import Exerter, ServiceContext, Signature, Task
+
+from .conftest import make_esp
+from .test_csp import make_csp
+
+
+def fanout_values(env, net, csp, concurrency, settle=2.0):
+    """Fire ``concurrency`` same-instant getValue exertions; return the
+    per-request results once all complete."""
+    exerter = Exerter(Host(net, f"coalesce-req-{len(net.hosts)}"))
+    results = []
+
+    def one(index):
+        task = Task(f"get-{index}",
+                    Signature(SENSOR_DATA_ACCESSOR, OP_GET_VALUE,
+                              service_id=csp.service_id),
+                    ServiceContext())
+        result = yield env.process(exerter.exert(task))
+        results.append(result)
+
+    def burst():
+        yield env.timeout(settle)
+        procs = [env.process(one(i), name=f"co:{i}")
+                 for i in range(concurrency)]
+        yield env.all_of(procs)
+
+    env.run(until=env.process(burst()))
+    return results
+
+
+def coalesced_count(net, csp):
+    snap = metrics_registry(net).snapshot()
+    entry = snap.get(f"csp.coalesced{{provider={csp.name}}}")
+    return entry["data"] if entry else 0
+
+
+def test_concurrent_reads_share_one_collection(grid):
+    env, net, world, lus = grid
+    esp1 = make_esp(net, world, "S1", location=(0.0, 0.0))
+    esp2 = make_esp(net, world, "S2", location=(60.0, 0.0))
+    csp = make_csp(net)
+    csp.coalesce = True
+    csp.add_child(esp1.service_id, esp1.name)
+    csp.add_child(esp2.service_id, esp2.name)
+    results = fanout_values(env, net, csp, concurrency=4)
+    assert all(r.is_done for r in results)
+    values = {r.get_return_value() for r in results}
+    assert len(values) == 1, "joiners must see the leader's bindings"
+    # One leader + three joiners.
+    assert coalesced_count(net, csp) == 3
+    # Each child answered one collection's worth of reads, not four.
+    assert csp._inflight_read is None
+
+
+def test_coalescing_off_by_default(grid):
+    env, net, world, lus = grid
+    esp = make_esp(net, world, "S1")
+    csp = make_csp(net)
+    csp.add_child(esp.service_id, esp.name)
+    results = fanout_values(env, net, csp, concurrency=3)
+    assert all(r.is_done for r in results)
+    assert coalesced_count(net, csp) == 0
+
+
+def test_composition_change_invalidates_the_epoch(grid):
+    env, net, world, lus = grid
+    esp1 = make_esp(net, world, "S1")
+    esp2 = make_esp(net, world, "S2")
+    csp = make_csp(net)
+    csp.coalesce = True
+    csp.add_child(esp1.service_id, esp1.name)
+    first = fanout_values(env, net, csp, concurrency=2)
+    assert all(r.is_done for r in first)
+    # Recomposing bumps the epoch: later reads must not join any stale
+    # in-flight token.
+    csp.add_child(esp2.service_id, esp2.name)
+    second = fanout_values(env, net, csp, concurrency=2, settle=0.5)
+    assert all(r.is_done for r in second)
+    # One joiner per burst, never across the recomposition.
+    assert coalesced_count(net, csp) == 2
+
+
+def test_leader_failure_propagates_to_joiners(grid):
+    env, net, world, lus = grid
+    esp = make_esp(net, world, "S1")
+    csp = make_csp(net)
+    csp.coalesce = True
+    csp.child_wait = 1.0
+    csp.add_child(esp.service_id, esp.name)
+    env.run(until=3.0)
+    esp.host.fail()
+    env.run(until=60.0)  # lease lapses, the child vanishes
+    results = fanout_values(env, net, csp, concurrency=3, settle=0.5)
+    assert all(r.is_failed for r in results), (
+        "joiners must fail when the shared collection fails")
+    assert csp._inflight_read is None, "a failed token must not linger"

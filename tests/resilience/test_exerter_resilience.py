@@ -261,3 +261,44 @@ def test_remote_error_probe_does_not_wedge_breaker(grid):
     result, elapsed = env.run(until=env.process(proc()))
     assert result.is_done
     assert elapsed < 1.0
+
+
+def test_drained_retry_budget_stops_retries(grid):
+    """With no retry tokens, a failing exertion gets its first attempt
+    and nothing more — the storm-amplification cap."""
+    from repro.resilience import retry_budget_of
+    env, net, lus = grid
+    host, provider = start_echo(net)
+    client = Host(net, "client")
+    budget = retry_budget_of(client)
+    budget.tokens = 0.0
+    exerter = Exerter(client)
+    events = resilience_events(net)
+    seen = []
+    events.subscribe(lambda name, fields: seen.append(name))
+
+    def proc():
+        yield env.timeout(2.0)
+        host.fail()
+        task = echo_task(retries=4, timeout=1.0)
+        result = yield env.process(exerter.exert(task))
+        return result
+
+    result = env.run(until=env.process(proc()))
+    assert result.is_failed
+    assert "retry_budget_exhausted" in seen
+    assert "retry_scheduled" not in seen
+    assert budget.denied >= 1 and budget.spent == 0
+
+
+def test_successes_fund_the_retry_budget(grid):
+    from repro.resilience import retry_budget_of
+    env, net, lus = grid
+    start_echo(net)
+    client = Host(net, "client")
+    budget = retry_budget_of(client)
+    budget.tokens = 0.0
+    exerter = Exerter(client)
+    result = exert_after_settle(env, exerter, echo_task())
+    assert result.is_done
+    assert budget.tokens == pytest.approx(budget.deposit_ratio)

@@ -67,3 +67,56 @@ def test_validation():
         RetryPolicy(multiplier=0.5)
     with pytest.raises(ValueError):
         RetryPolicy(jitter=1.5)
+
+
+# -- delay_before_retry: deadline checked before the sleep ---------------------
+
+
+def test_delay_before_retry_passes_through_with_room():
+    from repro.resilience import Deadline
+    policy = RetryPolicy(base_delay=0.5, jitter=0.0)
+    deadline = Deadline(expires_at=10.0)
+    assert policy.delay_before_retry(0, deadline=deadline, now=0.0) == 0.5
+
+
+def test_delay_before_retry_abandons_when_sleep_overruns_deadline():
+    """Regression: the deadline must be checked *before* backoff sleeps.
+
+    A retry whose backoff ends at-or-past the deadline is abandoned (None)
+    instead of slept through — sleeping first burned a provider slot on an
+    answer nobody could use.
+    """
+    from repro.resilience import Deadline
+    policy = RetryPolicy(base_delay=1.0, jitter=0.0)
+    # 0.4s left, 1.0s backoff: pointless.
+    assert policy.delay_before_retry(
+        0, deadline=Deadline(expires_at=1.0), now=0.6) is None
+    # Exactly equal is still pointless (the reply would land at expiry).
+    assert policy.delay_before_retry(
+        0, deadline=Deadline(expires_at=1.0), now=0.0) is None
+    # A hair of slack and the retry proceeds.
+    assert policy.delay_before_retry(
+        0, deadline=Deadline(expires_at=1.01), now=0.0) == 1.0
+
+
+def test_delay_before_retry_without_deadline_never_abandons():
+    policy = RetryPolicy(base_delay=1.0, jitter=0.0)
+    assert policy.delay_before_retry(3) == pytest.approx(5.0)
+
+
+def test_abandoned_retry_still_consumes_the_jitter_draw():
+    """Abandoning a retry must not reshuffle later jitter: the RNG is
+    advanced whether or not the deadline kills the sleep."""
+    from repro.resilience import Deadline
+    policy = RetryPolicy(base_delay=1.0, jitter=0.5)
+    tight = Deadline(expires_at=0.0)   # every retry abandoned
+
+    with_abandons = backoff_rng("stream-host")
+    assert policy.delay_before_retry(0, with_abandons, tight, 0.0) is None
+    later_a = policy.delay(1, with_abandons)
+
+    no_abandons = backoff_rng("stream-host")
+    policy.delay(0, no_abandons)       # same draw, nobody abandoned
+    later_b = policy.delay(1, no_abandons)
+
+    assert later_a == later_b

@@ -205,3 +205,42 @@ def test_health_json_is_canonical():
     assert {slo["name"] for slo in document["slos"]} == {
         "federation-health", "exertion-failure-rate",
         "deadline-miss-rate", "rpc-timeout-rate"}
+
+
+# -- repro load ----------------------------------------------------------------
+#
+# Same golden-file discipline as status/health: regenerate with
+# `python -m repro load --json > tests/golden/load_seed2009.json`.
+
+
+def test_load_json_matches_golden():
+    code, output = run_cli("load", "--json")
+    assert code == 0
+    assert output == (GOLDEN / "load_seed2009.json").read_text()
+    document = json.loads(output)
+    # Canonical form: sorted keys, no spaces, trailing newline.
+    assert output == json.dumps(document, sort_keys=True,
+                                separators=(",", ":")) + "\n"
+    assert set(document["tenants"]) == {"gold", "silver", "bronze"}
+    total = document["total"]
+    assert total["offered"] == (total["completed"] + total["rejected"]
+                                + total["failed"])
+
+
+def test_load_text_summarizes_tenants():
+    code, output = run_cli("load", "--duration", "2")
+    assert code == 0
+    for tenant in ("gold", "silver", "bronze"):
+        assert tenant in output
+    assert "total:" in output and "admission:" in output
+
+
+def test_load_curve_smoke_is_deterministic():
+    _, first = run_cli("load", "--curve", "--smoke", "--duration", "2",
+                       "--json")
+    _, second = run_cli("load", "--curve", "--smoke", "--duration", "2",
+                        "--json")
+    assert first == second
+    document = json.loads(first)
+    assert [point["scale"] for point in document["points"]] == \
+        [0.6, 1.2, 2.0]
