@@ -16,16 +16,24 @@ message count per query grows linearly for every design (each sensor is
 asked once) while *client-visible latency* does not.
 """
 
+import os
+
 import pytest
 
 from repro.metrics import render_table
 from repro.net import Host
 from repro.baselines import DirectPollingCollector
-from repro.scenarios import build_direct_grid, build_sensorcer_grid
+from repro.scenarios import (build_direct_grid, build_sensorcer_grid,
+                             seed_locator_discovery)
 from repro.sorcer import Exerter, ServiceContext, Signature, Strategy, Task
 from repro.core import SENSOR_DATA_ACCESSOR
 
 FLEET_SIZES = (4, 16, 64)
+#: The large tier (full mode only): §VII at fleet scale. Unicast locator
+#: discovery replaces the multicast probe storm here — see
+#: ``build_sensorcer_grid(discovery=...)``.
+LARGE_FLEET_SIZES = (1024, 4096, 16384)
+LARGE_FANOUT = 16
 QUERIES = 5
 
 
@@ -46,13 +54,16 @@ def time_direct(n, sequential):
     return sum(latencies) / len(latencies), net.stats.messages
 
 
-def time_sensorcer(n, tree_fanout, strategy):
+def time_sensorcer(n, tree_fanout, strategy, discovery="multicast"):
     grid = build_sensorcer_grid(n, seed=13, fixed_latency=0.001,
                                 tree_fanout=tree_fanout, strategy=strategy,
-                                sample_interval=1e9)
+                                sample_interval=1e9, discovery=discovery)
     grid.settle(6.0)
     env, net = grid.env, grid.net
-    exerter = Exerter(Host(net, "client"))
+    client = Host(net, "client")
+    if discovery == "locator":
+        seed_locator_discovery(client)
+    exerter = Exerter(client)
     latencies = []
 
     def warmup():
@@ -116,6 +127,50 @@ def test_scalability(benchmark, report):
     # At every N the parallel CSP beats sequential direct polling.
     for n in FLEET_SIZES:
         assert by_n[n][3] < by_n[n][1]
+
+
+@pytest.mark.slow
+def test_scalability_large(benchmark, report):
+    """E-SCALE at fleet scale: N = 1024 / 4096 / 16384.
+
+    Restricted to the architectures that stay tractable at this size
+    (parallel direct polling and a fanout-16 CSP tree — sequential
+    anything at 16k sensors is pure O(N) by construction and already
+    shown at the small tier), with unicast locator discovery so fleet
+    build traffic is O(N). The §VII claim under test: 16x more sensors
+    must not cost 16x the client-visible latency — the tree adds one
+    level (one hop) per fanout-power of N.
+    """
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        pytest.skip("large fleets run in full mode only")
+
+    def run_all():
+        rows = []
+        for n in LARGE_FLEET_SIZES:
+            direct_par, _ = time_direct(n, sequential=False)
+            tree_par, tree_msgs = time_sensorcer(
+                n, LARGE_FANOUT, Strategy.PARALLEL, discovery="locator")
+            rows.append([n, direct_par, tree_par, tree_msgs])
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(render_table(
+        ["N", "direct par (s)", f"CSP tree f={LARGE_FANOUT} (s)",
+         "tree msgs/query"],
+        rows,
+        title="E-SCALE large — fleet-average latency at 1k-16k sensors"))
+    by_n = {row[0]: row for row in rows}
+    # 16x the fleet, far less than 2x the latency (one extra tree level).
+    assert by_n[16384][2] < 2 * by_n[1024][2]
+    assert by_n[4096][2] < 2 * by_n[1024][2]
+    # Messages per query stay linear in N: each sensor answers once, plus
+    # one relay per composite on the path.
+    ratio = by_n[16384][3] / by_n[1024][3]
+    assert 8 < ratio < 32
+    # The federated tree stays within a small factor of bare direct
+    # polling even at 16k sensors.
+    for n in LARGE_FLEET_SIZES:
+        assert by_n[n][2] < 30 * by_n[n][1]
 
 
 def test_tree_fanout_ablation(benchmark, report):

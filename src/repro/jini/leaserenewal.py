@@ -33,6 +33,10 @@ class _ManagedLease:
     renew_duration: float
     until: float
     alive: bool = True
+    #: Consecutive failed renewal attempts (drives the backoff).
+    failures: int = 0
+    #: Earliest sim time the next attempt may run (backoff gate).
+    next_attempt: float = 0.0
 
 
 class LeaseRenewalService:
@@ -52,6 +56,12 @@ class LeaseRenewalService:
         self._endpoint = rpc_endpoint(host)
         self._sets: dict[str, list[_ManagedLease]] = {}
         self.check_interval = check_interval
+        #: One sweep timer per check window services *all* managed leases —
+        #: the sweeper is spawned lazily on the first add_lease and parks on
+        #: this event whenever the managed set drains, so an idle service
+        #: costs zero kernel events.
+        self._sweeping = False
+        self._stirred = None
         self.events = resilience_events(host.network)
         registry = metrics_registry(host.network)
         self._m_renewed = registry.counter("lease.renewed", host=host.name)
@@ -75,8 +85,12 @@ class LeaseRenewalService:
             raise KeyError(f"unknown renewal set {set_id!r}")
         managed = _ManagedLease(set_id, grantor, lease, renew_duration, until)
         self._sets[set_id].append(managed)
-        self.env.process(self._renewal_loop(managed),
-                         name=f"norm-renew:{lease.lease_id}")
+        if not self._sweeping:
+            self._sweeping = True
+            self.env.process(self._sweep_loop(),
+                             name=f"norm-sweep:{self.host.name}")
+        elif self._stirred is not None and not self._stirred.triggered:
+            self._stirred.succeed()
 
     def remove_set(self, set_id: str) -> None:
         for managed in self._sets.pop(set_id, []):
@@ -88,39 +102,80 @@ class LeaseRenewalService:
         yield self.env.timeout(duration)
         self.remove_set(set_id)
 
-    def _renewal_loop(self, managed: _ManagedLease):
-        failures = 0
-        while managed.alive and self.env.now < managed.until:
-            if failures == 0:
-                wait = max(0.1, managed.lease.remaining(self.env.now) / 2)
-            else:
-                # Transient failure: back off, but never past the lease's
-                # own expiry (a retry after expiry is pointless).
-                wait = min(self.RETRY_POLICY.delay(failures - 1, self._rng),
-                           max(0.05, managed.lease.remaining(self.env.now)))
-                self.events.emit("retry_scheduled", kind="lease-renewal",
-                                 lease=managed.lease.lease_id,
-                                 attempt=failures, delay=round(wait, 6))
-            yield self.env.timeout(wait)
-            if not managed.alive or self.env.now >= managed.until:
-                return
+    def _due(self, managed: _ManagedLease, now: float) -> bool:
+        if now < managed.next_attempt:
+            return False  # still backing off after a transient failure
+        remaining = managed.lease.remaining(now)
+        # Renew once past the lease's halfway point, or when the next sweep
+        # window might come too late — whichever margin is wider.
+        return remaining <= max(managed.lease.duration / 2,
+                                1.5 * self.check_interval)
+
+    def _lost(self, managed: _ManagedLease) -> None:
+        managed.alive = False
+        self._m_lost.inc()
+        self.events.emit("lease_lost", lease=managed.lease.lease_id)
+
+    def _sweep_loop(self):
+        """One timer event per check window renews every due lease.
+
+        The pre-batching design ran one recurring timer process per managed
+        lease — O(leases) pending kernel events at all times. A fleet of
+        duty-cycled sensors delegating 10k leases is exactly the workload
+        this service exists for, so the sweep batches all of them behind a
+        single ``check_interval`` timer and parks entirely while it has
+        nothing to manage.
+        """
+        while True:
+            now = self.env.now
+            for set_id, leases in self._sets.items():
+                if any(not m.alive or now >= m.until for m in leases):
+                    self._sets[set_id] = [
+                        m for m in leases if m.alive and now < m.until]
+            if not any(self._sets.values()):
+                self._stirred = self.env.event()
+                yield self._stirred
+                self._stirred = None
+                continue
+            yield self.env.timeout(self.check_interval)
             if not self.host.up:
                 continue
-            try:
-                managed.lease = yield self._endpoint.call(
-                    managed.grantor, "renew_lease", managed.lease.lease_id,
-                    managed.renew_duration, timeout=3.0)
-                failures = 0
-                self._m_renewed.inc()
-            except RemoteError:
-                # The grantor answered and refused: the lease is truly gone.
-                managed.alive = False
-                self._m_lost.inc()
-                self.events.emit("lease_lost", lease=managed.lease.lease_id)
-            except NetworkError:
-                failures += 1
-                if managed.lease.remaining(self.env.now) <= 0:
-                    managed.alive = False  # expired while unreachable
-                    self._m_lost.inc()
-                    self.events.emit("lease_lost",
-                                     lease=managed.lease.lease_id)
+            # Snapshot: renewals yield (RPC), and add_lease may append
+            # mid-sweep; new arrivals wait for the next window.
+            batch = [m for leases in self._sets.values() for m in leases]
+            for managed in batch:
+                now = self.env.now
+                if not managed.alive or now >= managed.until:
+                    continue
+                if not self._due(managed, now):
+                    continue
+                if managed.lease.remaining(now) <= 0:
+                    self._lost(managed)  # expired while unreachable/backing off
+                    continue
+                try:
+                    managed.lease = yield self._endpoint.call(
+                        managed.grantor, "renew_lease",
+                        managed.lease.lease_id,
+                        managed.renew_duration, timeout=3.0)
+                    managed.failures = 0
+                    self._m_renewed.inc()
+                except RemoteError:
+                    # The grantor answered and refused: the lease is gone.
+                    self._lost(managed)
+                except NetworkError:
+                    managed.failures += 1
+                    if managed.lease.remaining(self.env.now) <= 0:
+                        self._lost(managed)  # expired while unreachable
+                        continue
+                    # Transient failure: back off, but never past the
+                    # lease's own expiry (a retry after expiry is
+                    # pointless).
+                    delay = min(
+                        self.RETRY_POLICY.delay(managed.failures - 1,
+                                                self._rng),
+                        max(0.05, managed.lease.remaining(self.env.now)))
+                    managed.next_attempt = self.env.now + delay
+                    self.events.emit("retry_scheduled", kind="lease-renewal",
+                                     lease=managed.lease.lease_id,
+                                     attempt=managed.failures,
+                                     delay=round(delay, 6))

@@ -195,6 +195,15 @@ class LookupService:
                max_matches: int = 1) -> list[ServiceItem]:
         """Return up to ``max_matches`` matching items (registration order)."""
         self._record_access("r")
+        if template.service_id is not None:
+            # Exact-id template: the item table is keyed by service id, so
+            # answer from the index. This is the resolver hot path — every
+            # composite child resolution names its child's exact id, and a
+            # registry scan here makes one fleet query O(N * children).
+            item = self._items.get(template.service_id)
+            if item is not None and template.matches(item):
+                return [item]
+            return []
         out = []
         for item in self._items.values():
             if template.matches(item):

@@ -50,6 +50,8 @@ def header_size(protocol: Protocol) -> int:
 class WireSized:
     """Mixin for objects that know their own serialized size."""
 
+    __slots__ = ()
+
     def wire_size(self) -> int:  # pragma: no cover - interface
         raise NotImplementedError
 

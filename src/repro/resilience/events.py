@@ -34,6 +34,10 @@ class ResilienceEvents:
         self.recorder = recorder if recorder is not None else Recorder()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._listeners: list = []
+        # emit() runs per kernel event on fault-heavy paths; resolving the
+        # counter through the registry costs an f-string plus two dict
+        # lookups each time, so handles are memoized per kind.
+        self._counters: dict = {}
 
     def subscribe(self, listener) -> None:
         """Call ``listener(kind, fields)`` synchronously on every emit —
@@ -42,7 +46,11 @@ class ResilienceEvents:
         self._listeners.append(listener)
 
     def emit(self, kind: str, **fields) -> None:
-        self.metrics.counter(f"resilience.{kind}").inc()
+        counter = self._counters.get(kind)
+        if counter is None:
+            counter = self._counters[kind] = self.metrics.counter(
+                f"resilience.{kind}")
+        counter.inc()
         self.recorder.event(kind, self.env.now, **fields)
         for listener in self._listeners:
             listener(kind, fields)

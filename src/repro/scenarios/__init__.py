@@ -6,6 +6,8 @@ from .grids import (
     build_direct_grid,
     build_sensorcer_grid,
     grid_locations,
+    probe_location,
+    seed_locator_discovery,
 )
 from .paper_lab import SENSOR_NAMES, PaperLab, build_paper_lab
 
@@ -19,4 +21,6 @@ __all__ = [
     "build_paper_lab",
     "build_sensorcer_grid",
     "grid_locations",
+    "probe_location",
+    "seed_locator_discovery",
 ]

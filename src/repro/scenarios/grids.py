@@ -14,14 +14,14 @@ import numpy as np
 
 from ..sim import Environment
 from ..net import FixedLatency, Host, LanLatency, Network
-from ..jini import LookupService
+from ..jini import LookupService, lookup_discovery
 from ..sensors import PhysicalEnvironment, TemperatureProbe
 from ..sorcer import Jobber, Strategy
 from ..core import CompositeSensorProvider, ElementarySensorProvider
 from ..baselines import DirectSensorNode
 
 __all__ = ["SensorGrid", "build_sensorcer_grid", "build_direct_grid",
-           "grid_locations"]
+           "grid_locations", "probe_location", "seed_locator_discovery"]
 
 SPACING = 10.0
 
@@ -32,9 +32,18 @@ def grid_locations(n: int) -> list:
     return [((i % side) * SPACING, (i // side) * SPACING) for i in range(n)]
 
 
+def probe_location(index: int) -> tuple:
+    """Placement of probe ``index`` — the value
+    ``grid_locations(index + 1)[index]`` would have, in O(1) instead of
+    building the whole prefix lattice (which made fleet construction
+    quadratic in N)."""
+    side = int(np.ceil(np.sqrt(index + 1)))
+    return ((index % side) * SPACING, (index // side) * SPACING)
+
+
 def _probe(env, world, index, seed):
     return TemperatureProbe(
-        env, f"probe-{index}", world, grid_locations(index + 1)[index],
+        env, f"probe-{index}", world, probe_location(index),
         rng=np.random.default_rng(seed + index), sensing_noise=0.0,
         read_latency=0.01)
 
@@ -68,27 +77,55 @@ def _base(seed: int, fixed_latency: Optional[float]):
     return env, rng, net, world
 
 
+def seed_locator_discovery(host: Host, lus_host: str = "lus-host") -> Host:
+    """Put a host on unicast locator discovery (Jini's ``LookupLocator``):
+    it probes the named LUS host directly instead of multicasting on the
+    discovery group. Must run before anything else touches the host's
+    shared :class:`~repro.jini.LookupDiscovery`. Returns the host."""
+    lookup_discovery(host, probe_count=0).add_locator(lus_host)
+    return host
+
+
 def build_sensorcer_grid(n_sensors: int, seed: int = 11,
                          tree_fanout: Optional[int] = None,
                          strategy: Strategy = Strategy.PARALLEL,
                          sample_interval: float = 1.0,
-                         fixed_latency: Optional[float] = None) -> SensorGrid:
+                         fixed_latency: Optional[float] = None,
+                         discovery: str = "multicast") -> SensorGrid:
     """N ESPs under one root composite.
 
     ``tree_fanout=None`` puts every sensor directly under the root (flat);
     otherwise a balanced tree of composites with the given fanout is built
     (each internal composite on its own host, mirroring subnet gateways).
+
+    ``discovery`` selects how service hosts find the LUS: ``"multicast"``
+    is the default protocol (every starting host multicasts probe rounds
+    on the discovery group — with one host per sensor that is O(N^2)
+    probe deliveries during fleet build), ``"locator"`` is Jini's unicast
+    ``LookupLocator`` configuration (each host probes the known LUS host
+    directly, O(N) build traffic — what a real large deployment uses, and
+    what makes the 16k-sensor scale experiments tractable).
     """
+    if discovery not in ("multicast", "locator"):
+        raise ValueError(f"unknown discovery mode {discovery!r}")
     env, rng, net, world = _base(seed, fixed_latency)
     lus = LookupService(Host(net, "lus-host"))
     lus.start()
-    Jobber(Host(net, "jobber-host")).start()
+
+    def make_host(name: str) -> Host:
+        host = Host(net, name)
+        if discovery == "locator":
+            seed_locator_discovery(host)
+        return host
+
+    Jobber(make_host("jobber-host")).start()
     locations = grid_locations(n_sensors)
     sensors = []
     for index in range(n_sensors):
         name = f"Sensor-{index:03d}"
         esp = ElementarySensorProvider(
-            Host(net, f"esp-{index}"), name, _probe(env, world, index, seed),
+            make_host(f"esp-{index}"), name,
+            _probe(env, world, index, seed),
             sample_interval=sample_interval)
         esp.start()
         sensors.append(esp)
@@ -96,7 +133,7 @@ def build_sensorcer_grid(n_sensors: int, seed: int = 11,
     composites: list = []
 
     def make_composite(name: str) -> CompositeSensorProvider:
-        csp = CompositeSensorProvider(Host(net, f"{name}-host"), name,
+        csp = CompositeSensorProvider(make_host(f"{name}-host"), name,
                                       strategy=strategy)
         csp.start()
         composites.append(csp)

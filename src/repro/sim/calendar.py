@@ -1,0 +1,358 @@
+"""Kernel schedulers — the pending-event set behind :class:`Environment`.
+
+The kernel's ordering contract is a strict total order over scheduled
+occurrences keyed by ``(time, priority, tie, seq)``:
+
+* ``time`` — simulated seconds (floats, never negative deltas);
+* ``priority`` — URGENT < NORMAL < LOW (any int works);
+* ``tie`` — 0.0 normally, a seeded uniform draw under the tie-break
+  shuffle harness;
+* ``seq`` — the monotonically increasing scheduling counter, unique per
+  occurrence, which makes the order total.
+
+Two implementations honour that contract:
+
+:class:`HeapScheduler`
+    The reference: a binary heap of ``(time, priority, tie, seq, event)``
+    tuples — exactly the pre-refactor kernel structure. O(log n) per
+    operation with n = *all* pending occurrences, including the large
+    backlog of watchdog timeouts and sampling timers a 10k-sensor run
+    keeps in flight.
+
+:class:`CalendarQueue`
+    A bucketed calendar queue (Brown 1988) with *tie cells*. Buckets
+    partition time into integer "years" of ``width`` seconds; each
+    bucket holds a short list of cells sorted by ``(time, priority,
+    tie)`` (descending, so the earliest cell sits at the tail where
+    ``list.pop()`` is O(1)), and each cell is a FIFO of same-key
+    occurrences. Push and pop are amortized O(1): a push binary-searches
+    one *bucket* (average occupancy is kept at O(1) cells by
+    doubling/halving the bucket count), and the common same-instant
+    burst — a CSP fanning a query out to 16k children schedules 16k
+    occurrences at one ``(time, priority)`` — is a single cell with O(1)
+    appends, where the heap pays O(log n) tuple comparisons per event.
+
+    Each cell stores its year index (``int(time // width)``) at push
+    time and the pop scan compares *years*, not float bucket
+    boundaries: the time→year map is monotone (IEEE division is
+    monotone), so ordering is exact even where ``t / width`` loses
+    precision — rounding can only shift which year a time lands in,
+    never invert two times, and the scan accepts a bucket head only
+    once the lap reaches that head's own year.
+
+Both support :meth:`cancel` (lazy tombstones, the shape a batched timer
+wheel needs) and both produce byte-identical pop sequences for any
+program — the property suite in ``tests/sim/test_calendar_queue.py``
+drives random schedule programs through the pair and compares.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Optional
+
+__all__ = ["CalendarQueue", "HeapScheduler", "SCHEDULERS", "make_scheduler"]
+
+_INF = float("inf")
+
+
+class HeapScheduler:
+    """Reference binary-heap scheduler (the pre-refactor kernel queue)."""
+
+    __slots__ = ("_heap", "_dead")
+
+    kind = "heap"
+
+    def __init__(self):
+        self._heap: list[tuple] = []
+        self._dead: set[int] = set()
+
+    @property
+    def size(self) -> int:
+        return len(self._heap) - len(self._dead)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def push(self, time: float, priority: int, tie: float, seq: int,
+             event: Any) -> None:
+        heapq.heappush(self._heap, (time, priority, tie, seq, event))
+
+    def pop(self) -> tuple:
+        """Remove and return the least ``(time, priority, tie, seq, event)``."""
+        heap = self._heap
+        dead = self._dead
+        while heap:
+            entry = heapq.heappop(heap)
+            if dead and entry[3] in dead:
+                dead.discard(entry[3])
+                continue
+            return entry
+        raise IndexError("pop from empty scheduler")
+
+    def peek_time(self) -> float:
+        """Time of the next occurrence, or ``inf`` when empty."""
+        heap = self._heap
+        dead = self._dead
+        while heap:
+            if dead and heap[0][3] in dead:
+                dead.discard(heapq.heappop(heap)[3])
+                continue
+            return heap[0][0]
+        return _INF
+
+    def cancel(self, seq: int) -> None:
+        """Tombstone the occurrence scheduled under ``seq`` (lazy removal)."""
+        self._dead.add(seq)
+
+
+# Cell layout: [time, priority, tie, year, fifo] where fifo is a deque of
+# (seq, event) in push order — FIFO within one (time, priority, tie) key.
+_TIME, _PRIO, _TIE, _YEAR, _FIFO = range(5)
+
+
+class CalendarQueue:
+    """Bucketed calendar-queue scheduler with FIFO tie cells."""
+
+    __slots__ = ("_buckets", "_nbuckets", "_width", "_size", "_year",
+                 "_dead", "_peek_cache", "_pushes")
+
+    kind = "calendar"
+
+    #: Bucket-count bounds: halving stops at MIN, growth is unbounded.
+    MIN_BUCKETS = 8
+    #: Cells in one bucket before a same-count resize re-estimates the
+    #: width. The width is only ever computed at resize time, and a resize
+    #: can fire while the pending set is degenerate (service spawn leaves
+    #: every initializer at t=0, so the estimate collapses to 1.0); once
+    #: steady-state timers spread out, nothing grows the size again and
+    #: every event lands in a handful of buckets whose O(len) inserts
+    #: dominate. Healing on occupancy keeps buckets at O(1) cells.
+    HEAL_OCCUPANCY = 32
+
+    def __init__(self):
+        self._nbuckets = self.MIN_BUCKETS
+        self._width = 1.0
+        self._buckets: list[list] = [[] for _ in range(self._nbuckets)]
+        self._size = 0
+        #: Calendar position: the year of the last popped occurrence.
+        self._year = 0
+        self._dead: set[int] = set()
+        #: (bucket_index, year) located by the last peek, consumed by the
+        #: next pop; invalidated by any push or cancel.
+        self._peek_cache: Optional[tuple] = None
+        #: Pushes since the last resize — the healing cooldown, so a
+        #: bucket the width genuinely cannot split (thousands of distinct
+        #: ties at one instant) triggers at most one resize per
+        #: ``nbuckets`` pushes instead of thrashing on every push.
+        self._pushes = 0
+
+    @property
+    def size(self) -> int:
+        return self._size - len(self._dead)
+
+    def __len__(self) -> int:
+        return self.size
+
+    # -- scheduling -----------------------------------------------------------
+
+    def push(self, time: float, priority: int, tie: float, seq: int,
+             event: Any) -> None:
+        self._peek_cache = None
+        year = int(time // self._width)
+        if self._size == 0:
+            # Empty queue: re-aim the calendar so the next scan starts at
+            # this occurrence instead of lapping from a stale position.
+            self._year = year
+        elif year < self._year:
+            # Keep the invariant "position <= every pending year": pops
+            # advance the position to the popped year, but a push can land
+            # earlier than other pending work (time >= now, not >= their
+            # times), so the scan must back up to see it.
+            self._year = year
+        bucket = self._buckets[year % self._nbuckets]
+        # Binary search the cell position: descending by (time, priority,
+        # tie), earliest at the tail. Field-by-field compares — this runs
+        # once per scheduled occurrence, and building two key tuples per
+        # probe costs more than the probe itself.
+        lo, hi = 0, len(bucket)
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            cell = bucket[mid]
+            ct = cell[0]
+            if ct > time or (ct == time
+                             and (cell[1] > priority
+                                  or (cell[1] == priority
+                                      and cell[2] > tie))):
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(bucket):
+            cell = bucket[lo]
+            if cell[0] == time and cell[1] == priority and cell[2] == tie:
+                cell[4].append((seq, event))
+                self._size += 1
+                return
+        bucket.insert(lo, [time, priority, tie, year,
+                           deque(((seq, event),))])
+        self._size += 1
+        self._pushes += 1
+        if self._size > 2 * self._nbuckets:
+            self._resize(2 * self._nbuckets)
+        elif (len(bucket) > self.HEAL_OCCUPANCY
+                and self._pushes >= self._nbuckets
+                and bucket[0][0] != bucket[-1][0]):
+            # Overlong bucket spanning distinct times: the width is stale
+            # (see HEAL_OCCUPANCY) — re-estimate it over the live set.
+            self._resize(self._nbuckets)
+
+    def cancel(self, seq: int) -> None:
+        """Tombstone the occurrence scheduled under ``seq`` (lazy removal)."""
+        self._dead.add(seq)
+        self._peek_cache = None
+
+    # -- retrieval ------------------------------------------------------------
+
+    def pop(self) -> tuple:
+        """Remove and return the least ``(time, priority, tie, seq, event)``."""
+        dead = self._dead
+        while True:
+            located = self._peek_cache or self._locate()
+            self._peek_cache = None
+            if located is None:
+                raise IndexError("pop from empty scheduler")
+            index, year = located
+            bucket = self._buckets[index]
+            cell = bucket[-1]
+            fifo = cell[4]
+            seq, event = fifo.popleft()
+            if not fifo:
+                bucket.pop()
+            self._size -= 1
+            self._year = year
+            if dead and seq in dead:
+                dead.discard(seq)
+                continue
+            if (self._size < self._nbuckets // 2
+                    and self._nbuckets > self.MIN_BUCKETS):
+                self._resize(self._nbuckets // 2)
+            return (cell[0], cell[1], cell[2], seq, event)
+
+    def peek_time(self) -> float:
+        """Time of the next occurrence, or ``inf`` when empty."""
+        while True:
+            located = self._peek_cache or self._locate()
+            if located is None:
+                return _INF
+            index, _year = located
+            cell = self._buckets[index][-1]
+            dead = self._dead
+            if dead:
+                # Drop tombstoned occurrences off the cell head so the
+                # reported time is a live one.
+                fifo = cell[4]
+                while fifo and fifo[0][0] in dead:
+                    dead.discard(fifo.popleft()[0])
+                    self._size -= 1
+                if not fifo:
+                    self._buckets[index].pop()
+                    self._peek_cache = None
+                    continue
+            self._peek_cache = located
+            return cell[0]
+
+    # -- internals ------------------------------------------------------------
+
+    def _locate(self) -> Optional[tuple]:
+        """Find the bucket holding the next occurrence.
+
+        Returns ``(bucket_index, year)`` — the calendar position the pop
+        should advance to — or ``None`` when empty. A bucket head is
+        accepted only once the lap's year has reached the head's own
+        stored year; after one fruitless lap the scan falls back to a
+        direct min-of-heads search and jumps the calendar there (the
+        sparse-queue jump of the classic algorithm).
+        """
+        if self._size == 0:
+            return None
+        buckets = self._buckets
+        n = self._nbuckets
+        year = self._year
+        for _ in range(n):
+            bucket = buckets[year % n]
+            if bucket and bucket[-1][3] <= year:
+                return (year % n, year)
+            year += 1
+        # Sparse queue: nothing within the next full calendar lap. Jump
+        # straight to the earliest head by full key.
+        best = None
+        best_index = -1
+        for j in range(n):
+            bucket = buckets[j]
+            if bucket:
+                head = bucket[-1]
+                key = (head[0], head[1], head[2])
+                if best is None or key < best:
+                    best = key
+                    best_index = j
+        head = buckets[best_index][-1]
+        return (best_index, head[3])
+
+    def _resize(self, nbuckets: int) -> None:
+        cells = [cell for bucket in self._buckets for cell in bucket]
+        self._width = self._estimate_width(cells)
+        self._nbuckets = nbuckets
+        buckets: list[list] = [[] for _ in range(nbuckets)]
+        width = self._width
+        min_year = None
+        for cell in cells:
+            year = int(cell[0] // width)
+            cell[3] = year
+            buckets[year % nbuckets].append(cell)
+            if min_year is None or year < min_year:
+                min_year = year
+        for bucket in buckets:
+            bucket.sort(key=_cell_sort_key)
+        self._buckets = buckets
+        self._peek_cache = None
+        self._pushes = 0
+        # Re-aim the calendar at the earliest pending cell.
+        self._year = min_year if min_year is not None else 0
+
+    @staticmethod
+    def _estimate_width(cells: list) -> float:
+        """Bucket width from the spread of distinct pending cell times.
+
+        Aims for ~one calendar year between adjacent distinct event
+        times so an average bucket holds O(1) cells. Clamped away from
+        zero so same-instant storms (every cell at one time) cannot
+        collapse the calendar.
+        """
+        times = sorted({cell[0] for cell in cells})
+        if len(times) < 2:
+            return 1.0
+        span = times[-1] - times[0]
+        if span <= 0.0:
+            return 1.0
+        return max(span / (len(times) - 1), 1e-9)
+
+
+def _cell_sort_key(cell):
+    return (-cell[0], -cell[1], -cell[2])
+
+
+#: Registry used by :class:`~repro.sim.core.Environment`.
+SCHEDULERS = {
+    "calendar": CalendarQueue,
+    "heap": HeapScheduler,
+}
+
+
+def make_scheduler(kind: str):
+    try:
+        return SCHEDULERS[kind]()
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel scheduler {kind!r}; expected one of "
+            f"{sorted(SCHEDULERS)}") from None

@@ -8,9 +8,13 @@ exertion runtime and the sensor devices — runs as processes inside one
 Design notes
 ------------
 * Time is a float in simulated seconds. There is no wall clock anywhere.
-* Events are scheduled on a binary heap keyed by ``(time, priority, seq)``
-  where ``seq`` is a monotonically increasing counter, which makes the
-  execution order fully deterministic.
+* Events are scheduled on a pluggable scheduler (see
+  :mod:`repro.sim.calendar`) keyed by ``(time, priority, tie, seq)`` where
+  ``seq`` is a monotonically increasing counter, which makes the execution
+  order fully deterministic. The default is a bucketed calendar queue with
+  amortized O(1) push/pop; ``scheduler="heap"`` (or the
+  ``REPRO_KERNEL_SCHEDULER`` environment variable) selects the reference
+  binary heap, which produces a byte-identical event order.
 * A :class:`Process` wraps a generator. The generator yields :class:`Event`
   objects; when a yielded event triggers, the process resumes with the
   event's value (or the event's exception is thrown into the generator).
@@ -21,13 +25,13 @@ Design notes
 
 from __future__ import annotations
 
-import heapq
 import os
 import random as _random
 from itertools import count
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from . import sanitizer as _san
+from .calendar import make_scheduler
 from .sanitizer import RaceSanitizer, SanitizerViolation  # noqa: F401 - re-export
 
 __all__ = [
@@ -49,6 +53,14 @@ __all__ = [
 #: ``tie_break_seed`` is passed — lets a test run (or CI job) shuffle every
 #: scenario it builds without threading a parameter through the builders.
 SHUFFLE_SEED_ENV = "REPRO_SHUFFLE_SEED"
+
+#: Environment variable selecting the kernel scheduler ("calendar" or
+#: "heap") when no explicit ``scheduler=`` is passed. Used by the
+#: equivalence suite to run whole scenarios on the reference heap.
+KERNEL_SCHEDULER_ENV = "REPRO_KERNEL_SCHEDULER"
+
+#: Default kernel scheduler.
+DEFAULT_SCHEDULER = "calendar"
 
 #: Priority for "urgent" events (used internally for interrupts).
 URGENT = 0
@@ -94,6 +106,8 @@ class Event:
     (succeed/fail called, callbacks scheduled) and *processed* (callbacks
     ran). Its value or exception is immutable once triggered.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -175,6 +189,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` simulated seconds after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None,
                  priority: int = NORMAL):
         if delay < 0:
@@ -195,6 +211,8 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
         self.callbacks.append(process._resume)
@@ -206,6 +224,8 @@ class Initialize(Event):
 class Process(Event):
     """Wraps a generator as a process; the process *is* an event that
     triggers with the generator's return value when it finishes."""
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, env: "Environment", generator: Generator, name: str | None = None):
         if not hasattr(generator, "throw"):
@@ -301,6 +321,8 @@ class Process(Event):
 class Condition(Event):
     """Triggers based on the outcomes of several child events."""
 
+    __slots__ = ("events", "_evaluate", "_done")
+
     def __init__(self, env: "Environment", events: Iterable[Event],
                  evaluate: Callable[[int, int], bool]):
         super().__init__(env)
@@ -333,12 +355,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when *all* child events have triggered; fails on first failure."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, events, lambda total, done: done == total)
 
 
 class AnyOf(Condition):
     """Triggers as soon as *any* child event has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, events, lambda total, done: done >= 1)
@@ -358,13 +384,22 @@ class Environment:
     preserved. Tests use it to prove results do not depend on the
     tie-breaker. When ``None``, the ``REPRO_SHUFFLE_SEED`` environment
     variable is consulted so whole suites can be shuffled externally.
+
+    ``scheduler`` selects the pending-event structure: ``"calendar"`` (the
+    default, amortized O(1)) or ``"heap"`` (the reference binary heap).
+    Both honour the same ``(time, priority, tie, seq)`` total order, so
+    every run is byte-identical across the two. When ``None``, the
+    ``REPRO_KERNEL_SCHEDULER`` environment variable is consulted.
     """
 
     def __init__(self, initial_time: float = 0.0,
                  sanitize: bool | str = False,
-                 tie_break_seed: Optional[int] = None):
+                 tie_break_seed: Optional[int] = None,
+                 scheduler: Optional[str] = None):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, float, int, Event]] = []
+        if scheduler is None:
+            scheduler = os.environ.get(KERNEL_SCHEDULER_ENV) or DEFAULT_SCHEDULER
+        self._scheduler = make_scheduler(scheduler)
         self._seq = count()
         self._active_process: Optional[Process] = None
         if tie_break_seed is None:
@@ -416,17 +451,17 @@ class Environment:
         tie = 0.0 if self._tie_rng is None else self._tie_rng.random()
         if self.sanitizer is not None:
             self.sanitizer.on_schedule(seq, event)
-        heapq.heappush(self._queue, (self._now + delay, priority, tie, seq, event))
+        self._scheduler.push(self._now + delay, priority, tie, seq, event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._scheduler.peek_time()
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        if not self._queue:
+        if not self._scheduler.size:
             raise SimulationError("nothing scheduled")
-        when, prio, _tie, seq, event = heapq.heappop(self._queue)
+        when, prio, _tie, seq, event = self._scheduler.pop()
         self._now = when
         if self.sanitizer is None:
             event._run_callbacks()
@@ -477,7 +512,8 @@ class Environment:
                     f"until={deadline} is in the past (now={self._now})")
 
         try:
-            while self._queue and self._queue[0][0] <= deadline:
+            scheduler = self._scheduler
+            while scheduler.size and scheduler.peek_time() <= deadline:
                 self.step()
         except StopSimulation:
             ev = stop_value[0]

@@ -19,6 +19,8 @@ __all__ = ["Store", "StoreGet", "StorePut", "Resource", "ResourceRequest"]
 class StorePut(Event):
     """Event returned by :meth:`Store.put`; triggers once the item is stored."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
@@ -28,6 +30,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Event returned by :meth:`Store.get`; triggers with a matching item."""
+
+    __slots__ = ("predicate", "_store_ref")
 
     def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]]):
         super().__init__(store.env)
@@ -108,6 +112,8 @@ class Store:
 
 class ResourceRequest(Event):
     """Event returned by :meth:`Resource.request`; triggers when granted."""
+
+    __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import copy
 from typing import Any, Iterator, Optional
 
+from ..net.wire import WireSized, estimate_size
 from ..sim import sanitizer as _san
 
 __all__ = ["ServiceContext", "ContextError"]
@@ -32,8 +33,10 @@ def _validate_path(path: str) -> str:
     return path
 
 
-class ServiceContext:
+class ServiceContext(WireSized):
     """Hierarchical, path-addressed collaboration data."""
+
+    __slots__ = ("name", "_data", "_in_paths", "_out_paths", "return_path")
 
     def __init__(self, name: str = "context", data: Optional[dict] = None):
         self.name = name
@@ -153,6 +156,17 @@ class ServiceContext:
 
     def copy(self) -> "ServiceContext":
         return copy.deepcopy(self)
+
+    def wire_size(self) -> int:
+        # Sizes exactly as the generic __dict__ fallback charged before this
+        # class grew __slots__ — the golden traces depend on these bytes.
+        return 16 + estimate_size({
+            "name": self.name,
+            "_data": self._data,
+            "_in_paths": self._in_paths,
+            "_out_paths": self._out_paths,
+            "return_path": self.return_path,
+        })
 
     def as_dict(self) -> dict:
         return dict(self._data)

@@ -1,0 +1,67 @@
+"""Repo-wide audit of determinism-lint suppressions.
+
+File-wide pragmas are the blunt instrument: one line exempts a whole file
+from a rule forever. The only legitimate users are the wall-clock
+benchmarks (they *must* call ``time.perf_counter`` — that is the thing
+being measured), and only for DET001. Anything else must use a line-level
+``# repro: allow[...]`` with the offending line in view, so this audit
+fails the build if a file-wide pragma creeps in anywhere else.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+FILE_PRAGMA = re.compile(r"#\s*repro:\s*allow-file\[([A-Za-z0-9_,\s]*)\]")
+
+#: The closed set of files allowed a file-wide suppression, with the rules
+#: each may suppress. Adding an entry here is a reviewed decision.
+ALLOWED = {
+    "benchmarks/bench_expression.py": {"DET001"},
+    "benchmarks/bench_health.py": {"DET001"},
+    "benchmarks/bench_kernel.py": {"DET001"},
+    "benchmarks/bench_overhead.py": {"DET001"},
+}
+
+
+def _python_sources():
+    for root in ("src", "benchmarks", "tests"):
+        yield from (REPO / root).rglob("*.py")
+
+
+def _file_pragmas(path):
+    rules = set()
+    for match in FILE_PRAGMA.finditer(path.read_text()):
+        rules.update(token.strip() for token in match.group(1).split(",")
+                     if token.strip())
+    return rules
+
+
+def test_allow_file_pragmas_only_in_wall_clock_benchmarks():
+    offenders = {}
+    for path in _python_sources():
+        rel = path.relative_to(REPO).as_posix()
+        if rel.startswith(("tests/analysis/", "src/repro/analysis/")):
+            continue  # the lint suite and its hints quote pragma syntax
+        rules = _file_pragmas(path)
+        if not rules:
+            continue
+        if rules - ALLOWED.get(rel, set()):
+            offenders[rel] = sorted(rules)
+    assert not offenders, (
+        "file-wide lint suppressions outside the reviewed allowlist: "
+        f"{offenders} — use line-level '# repro: allow[...]' instead")
+
+
+def test_allowlisted_benchmarks_still_exist():
+    """A deleted benchmark should take its allowlist entry with it."""
+    for rel in ALLOWED:
+        assert (REPO / rel).is_file(), f"stale allowlist entry {rel}"
+
+
+def test_wall_clock_pragmas_carry_a_justification():
+    for rel in ALLOWED:
+        line = next(l for l in (REPO / rel).read_text().splitlines()
+                    if FILE_PRAGMA.search(l))
+        assert re.search(r"\]\s*-\s*\S", line), (
+            f"{rel}: file-wide pragma needs a trailing '- why' justification")

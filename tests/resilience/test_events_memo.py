@@ -1,0 +1,76 @@
+"""Micro-regression guard for the memoized resilience counter handles.
+
+``ResilienceEvents.emit`` runs per kernel event on fault-heavy paths; the
+counter handle must be resolved through the registry exactly once per kind,
+then reused — and the memo must stay coherent with the registry (same
+object, same totals) so ``count()`` never diverges from what was emitted.
+"""
+
+from repro.observability import MetricsRegistry
+from repro.resilience.events import ResilienceEvents, resilience_events
+from repro.net import Network
+from repro.sim import Environment
+
+
+class CountingRegistry(MetricsRegistry):
+    """Registry that counts handle resolutions (not increments)."""
+
+    def __init__(self):
+        super().__init__()
+        self.counter_calls = 0
+
+    def counter(self, name, **labels):
+        self.counter_calls += 1
+        return super().counter(name, **labels)
+
+
+def test_counter_handle_resolved_once_per_kind():
+    registry = CountingRegistry()
+    events = ResilienceEvents(Environment(), metrics=registry)
+    for _ in range(100):
+        events.emit("retry.scheduled", attempt=1)
+    assert registry.counter_calls == 1
+    events.emit("breaker.opened")
+    assert registry.counter_calls == 2
+    assert events.count("retry.scheduled") == 100.0
+    assert events.count("breaker.opened") == 1.0
+
+
+def test_memoized_handle_is_the_registry_metric():
+    registry = MetricsRegistry()
+    events = ResilienceEvents(Environment(), metrics=registry)
+    events.emit("lease.renewal.retried")
+    handle = events._counters["lease.renewal.retried"]
+    assert handle is registry.counter("resilience.lease.renewal.retried")
+
+
+def test_trace_and_listeners_unaffected_by_memo():
+    env = Environment()
+    events = ResilienceEvents(env)
+    heard = []
+    events.subscribe(lambda kind, fields: heard.append(kind))
+
+    def proc():
+        yield env.timeout(1.0)
+        events.emit("retry.scheduled", attempt=1)
+        yield env.timeout(1.0)
+        events.emit("retry.scheduled", attempt=2)
+
+    env.process(proc())
+    env.run()
+    assert heard == ["retry.scheduled", "retry.scheduled"]
+    assert [(t, kind) for t, kind, _ in events.trace] == \
+        [(1.0, "retry.scheduled"), (2.0, "retry.scheduled")]
+
+
+def test_network_stream_memo_survives_shared_registry():
+    """The per-network stream counts into the network's shared registry;
+    the memo must not shadow counts made directly against the registry."""
+    env = Environment()
+    network = Network(env)
+    events = resilience_events(network)
+    events.emit("substitution.stale")
+    from repro.observability.registry import metrics_registry
+    registry = metrics_registry(network)
+    registry.counter("resilience.substitution.stale").inc()
+    assert events.count("substitution.stale") == 2.0

@@ -1,0 +1,185 @@
+"""CalendarQueue vs HeapScheduler: byte-identical pop order.
+
+The kernel's ordering contract is the strict total order over
+``(time, priority, tie, seq)``. The heap is the reference implementation;
+the calendar queue must reproduce its pop sequence *exactly* — same-tick
+ties, tombstoned cancels, priority classes, degenerate widths and all.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.calendar import (CalendarQueue, HeapScheduler, SCHEDULERS,
+                                make_scheduler)
+
+# Coarse time grid (forces same-instant collisions) mixed with arbitrary
+# floats (forces uneven bucket widths and sparse-lap jumps).
+times = st.one_of(
+    st.sampled_from((0.0, 0.5, 1.0, 1.5, 2.0, 10.0, 1e6)),
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False))
+priorities = st.integers(min_value=0, max_value=2)
+ties = st.sampled_from((0.0, 0.125, 0.5))
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.tuples(times, priorities, ties)),
+        st.tuples(st.just("pop"), st.none()),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=999)),
+    ),
+    max_size=120)
+
+
+def _drain(scheduler):
+    out = []
+    while scheduler.size:
+        out.append(scheduler.pop())
+    return out
+
+
+@given(ops)
+def test_random_programs_pop_identically(program):
+    cal, heap = CalendarQueue(), HeapScheduler()
+    seq = 0
+    pending = []
+    for op, arg in program:
+        if op == "push":
+            t, priority, tie = arg
+            cal.push(t, priority, tie, seq, seq)
+            heap.push(t, priority, tie, seq, seq)
+            pending.append(seq)
+            seq += 1
+        elif op == "pop":
+            assert cal.size == heap.size
+            if cal.size:
+                assert cal.peek_time() == heap.peek_time()
+                got_cal, got_heap = cal.pop(), heap.pop()
+                assert got_cal == got_heap
+                pending.remove(got_cal[3])
+        elif pending:
+            victim = pending.pop(arg % len(pending))
+            cal.cancel(victim)
+            heap.cancel(victim)
+    assert cal.size == heap.size == len(pending)
+    assert _drain(cal) == _drain(heap)
+
+
+@given(st.lists(st.tuples(times, priorities, ties), min_size=1, max_size=80))
+def test_bulk_push_then_drain_is_sorted(entries):
+    cal = CalendarQueue()
+    for seq, (t, priority, tie) in enumerate(entries):
+        cal.push(t, priority, tie, seq, seq)
+    drained = [(t, p, tie, seq) for t, p, tie, seq, _ in _drain(cal)]
+    assert drained == sorted(drained)
+
+
+def test_same_instant_burst_is_fifo():
+    """16k occurrences on one (time, priority, tie) key — the CSP fan-out
+    shape — come back in scheduling order from a single tie cell."""
+    cal = CalendarQueue()
+    for seq in range(16384):
+        cal.push(5.0, 1, 0.0, seq, seq)
+    assert [entry[3] for entry in _drain(cal)] == list(range(16384))
+
+
+def test_priority_classes_order_within_a_tick():
+    cal = CalendarQueue()
+    cal.push(1.0, 2, 0.0, 0, "low")
+    cal.push(1.0, 0, 0.0, 1, "urgent")
+    cal.push(1.0, 1, 0.0, 2, "normal")
+    cal.push(0.5, 2, 0.0, 3, "earlier-low")
+    assert [e[4] for e in _drain(cal)] == ["earlier-low", "urgent",
+                                           "normal", "low"]
+
+
+def test_tie_field_orders_within_time_and_priority():
+    cal = CalendarQueue()
+    cal.push(1.0, 1, 0.75, 0, "late-tie")
+    cal.push(1.0, 1, 0.25, 1, "early-tie")
+    assert [e[4] for e in _drain(cal)] == ["early-tie", "late-tie"]
+
+
+def test_cancel_tombstones_are_skipped():
+    for kind in SCHEDULERS:
+        s = make_scheduler(kind)
+        for seq in range(6):
+            s.push(float(seq % 3), 1, 0.0, seq, seq)
+        s.cancel(1)
+        s.cancel(4)
+        assert s.size == 4
+        assert [e[3] for e in _drain(s)] == [0, 3, 2, 5]
+
+
+def test_cancel_head_updates_peek_time():
+    for kind in SCHEDULERS:
+        s = make_scheduler(kind)
+        s.push(1.0, 1, 0.0, 0, "head")
+        s.push(2.0, 1, 0.0, 1, "next")
+        assert s.peek_time() == 1.0
+        s.cancel(0)
+        assert s.peek_time() == 2.0
+        assert s.pop()[4] == "next"
+
+
+def test_push_earlier_than_calendar_position():
+    """A push can land before every pending occurrence (time >= *now*, not
+    >= other pending times); the scan position must back up to see it."""
+    cal = CalendarQueue()
+    cal.push(10.0, 1, 0.0, 0, "late")
+    assert cal.peek_time() == 10.0
+    cal.push(0.0, 1, 0.0, 1, "early")
+    assert cal.peek_time() == 0.0
+    assert [e[4] for e in _drain(cal)] == ["early", "late"]
+
+
+def test_sparse_queue_jumps_across_empty_years():
+    cal = CalendarQueue()
+    for seq, t in enumerate((0.0, 1e6, 2e12, 3e18)):
+        cal.push(t, 1, 0.0, seq, seq)
+    assert [e[0] for e in _drain(cal)] == [0.0, 1e6, 2e12, 3e18]
+
+
+def test_degenerate_width_heals_under_load():
+    """Spawn-shaped workload: a same-instant storm poisons the width
+    estimate (every pending time identical -> width 1.0), then spread-out
+    timers pile into a handful of buckets. The occupancy heal must
+    re-estimate the width and keep the order exact."""
+    cal, heap = CalendarQueue(), HeapScheduler()
+    seq = 0
+    for _ in range(512):
+        cal.push(0.0, 0, 0.0, seq, seq)
+        heap.push(0.0, 0, 0.0, seq, seq)
+        seq += 1
+    for step in range(2048):
+        assert cal.pop() == heap.pop()
+        t = 0.05 + (step % 397) * 0.005
+        cal.push(t, 1, 0.0, seq, seq)
+        heap.push(t, 1, 0.0, seq, seq)
+        seq += 1
+    assert _drain(cal) == _drain(heap)
+    assert max(len(bucket) for bucket in cal._buckets) <= \
+        CalendarQueue.HEAL_OCCUPANCY + 1
+
+
+def test_shrink_below_min_buckets_never_happens():
+    cal = CalendarQueue()
+    for seq in range(200):
+        cal.push(seq * 0.1, 1, 0.0, seq, seq)
+    grown = cal._nbuckets
+    assert grown > CalendarQueue.MIN_BUCKETS
+    _drain(cal)
+    assert CalendarQueue.MIN_BUCKETS <= cal._nbuckets < grown
+
+
+def test_empty_scheduler_behaviour():
+    for kind in SCHEDULERS:
+        s = make_scheduler(kind)
+        assert s.size == 0
+        assert len(s) == 0
+        assert s.peek_time() == float("inf")
+        with pytest.raises(IndexError):
+            s.pop()
+
+
+def test_make_scheduler_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown kernel scheduler"):
+        make_scheduler("wheel-of-fortune")

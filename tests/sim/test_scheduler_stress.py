@@ -1,0 +1,132 @@
+"""Scheduler soak: a million random occurrences against the invariants.
+
+Full tier pushes ~1M occurrences through the calendar queue with a heap
+shadow checking every pop; ``REPRO_BENCH_SMOKE=1`` (the CI smoke tier)
+drops to 50k. Invariants under load:
+
+* monotone time — pops never go backwards;
+* FIFO within ties — same ``(time, priority, tie)`` keys drain in
+  scheduling order;
+* conservation — nothing is lost, duplicated, or resurrected after a
+  cancel.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.sim.calendar import CalendarQueue, HeapScheduler
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SOAK_EVENTS = 50_000 if SMOKE else 1_000_000
+ENV_EVENTS = 20_000 if SMOKE else 200_000
+
+
+@pytest.mark.slow
+def test_soak_against_heap_shadow():
+    """Random push/pop/cancel storm; the heap reference checks each pop."""
+    rng = np.random.default_rng(0xC0FFEE)
+    cal, heap = CalendarQueue(), HeapScheduler()
+    # O(1) bookkeeping: membership in `alive`, cancel victims drawn from
+    # `candidates` (may hold stale seqs already popped — checked against
+    # `alive` before use, compacted when mostly stale).
+    alive: set[int] = set()
+    candidates: list[int] = []
+    seq = 0
+    now = 0.0
+    pops = cancels = 0
+    # Weighted op mix: pushes slightly outnumber pops so the queue grows
+    # through resizes, then the drain at the end shrinks it back.
+    op_draw = rng.random(SOAK_EVENTS)
+    time_draw = rng.random(SOAK_EVENTS)
+    for i in range(SOAK_EVENTS):
+        op = op_draw[i]
+        if op < 0.52 or not alive:
+            # Push at or after *now* (the kernel's contract) on a coarse
+            # lattice so same-instant ties are common.
+            t = now + round(float(time_draw[i]) * 50.0, 1)
+            priority = i % 3
+            tie = (0.0, 0.25, 0.5)[i % 3]
+            cal.push(t, priority, tie, seq, seq)
+            heap.push(t, priority, tie, seq, seq)
+            alive.add(seq)
+            candidates.append(seq)
+            seq += 1
+        elif op < 0.92:
+            assert cal.peek_time() == heap.peek_time()
+            got = cal.pop()
+            assert got == heap.pop()
+            assert got[0] >= now, "time went backwards"
+            now = got[0]
+            assert got[3] in alive, "popped a cancelled or duplicate seq"
+            alive.discard(got[3])
+            pops += 1
+        else:
+            victim = candidates.pop(int(op_draw[i] * 7919) % len(candidates))
+            if victim not in alive:
+                continue  # already popped; skip this cancel op
+            alive.discard(victim)
+            cal.cancel(victim)
+            heap.cancel(victim)
+            cancels += 1
+        if len(candidates) > 2 * len(alive) + 64:
+            candidates = [s for s in candidates if s in alive]
+    assert cal.size == heap.size == len(alive)
+    drained = 0
+    while cal.size:
+        got = cal.pop()
+        assert got == heap.pop()
+        assert got[0] >= now
+        now = got[0]
+        assert got[3] in alive
+        alive.discard(got[3])
+        drained += 1
+    # Conservation: every scheduled occurrence either popped or cancelled.
+    assert pops + drained + cancels == seq
+    assert not alive
+
+
+@pytest.mark.slow
+def test_environment_soak_invariants():
+    """Whole-kernel soak: hundreds of processes rescheduling themselves on
+    a tie-heavy lattice; the clock never regresses, every timer fires
+    exactly as often as its schedule allows, and same-instant direct
+    timeouts fire in scheduling order."""
+    env = Environment(scheduler="calendar")
+    rng = np.random.default_rng(2009)
+    n_procs = 200
+    per_proc = max(ENV_EVENTS // n_procs, 1)
+    fired: list[tuple] = []
+    observed_now = [0.0]
+
+    def ticker(pid, delays):
+        for delay in delays:
+            yield env.timeout(delay)
+            assert env.now >= observed_now[0], "clock went backwards"
+            observed_now[0] = env.now
+            fired.append((env.now, pid))
+
+    for pid in range(n_procs):
+        delays = (rng.integers(0, 40, size=per_proc) * 0.25).tolist()
+        env.process(ticker(pid, delays))
+
+    # Direct same-instant burst: all scheduled up front from one event
+    # context, so FIFO-within-tie is exactly creation order.
+    burst_fired: list[int] = []
+    for index in range(512):
+        env.timeout(7.25).callbacks.append(
+            lambda ev, index=index: burst_fired.append(index))
+
+    env.run()
+    assert len(fired) == n_procs * per_proc, "lost or duplicated events"
+    assert burst_fired == list(range(512))
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+
+
+def test_smoke_tier_is_documented():
+    """The env knob the CI smoke tier uses must keep cutting the soak."""
+    assert SOAK_EVENTS >= 50_000
+    assert ENV_EVENTS >= 20_000
