@@ -1,0 +1,226 @@
+"""E-PROF — the flight recorder's overhead, fidelity and spill contract.
+
+Three claims, each the condition for trusting the profiler's output:
+
+* **overhead**: the always-on sampled mode must cost <= 5% wall clock on
+  the paper lab, and a detached recorder must leave the kernel on its
+  branch-free fast path (the exact ``detail`` mode is reported, not
+  gated — its user is the explicit ``repro profile`` run);
+* **fidelity**: the recorder is a pure side channel — ``status --json``
+  bytes are identical with and without it attached, and a detail-mode
+  run attributes >= 90% of wall clock to named rows;
+* **persistence**: a ~1M-event soak run spilled to sqlite through the
+  ``repro profile`` CLI can be replayed by ``repro history`` — p50/p95
+  over any horizon come back from the database alone, long after the
+  in-memory store's retention window has evicted the early run.
+
+``REPRO_BENCH_SMOKE=1`` shrinks run lengths and waives only the timing
+budget (a shared CI runner cannot honour it reliably); every behavioural
+assertion still holds.
+"""
+
+import gc
+import json
+import os
+import time
+# repro: allow-file[DET001] - benchmarks time real work on the wall clock
+
+from repro.metrics import render_table
+from repro.observability import (FlightRecorder, HistoryStore,
+                                 metrics_registry, profile_run, status_json)
+from repro.scenarios import build_paper_lab
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SETTLE = 6.0
+
+
+def _timed_lab_run(mode, until):
+    """Wall-clock seconds for a settled paper-lab run with the recorder
+    off, in sampled mode, or in detail mode. GC is paused during the
+    timed region (collected once before it) so allocation-count-driven
+    gen-0 pauses don't get charged to whichever mode trips them."""
+    lab = build_paper_lab(seed=2009)
+    lab.settle(SETTLE)
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        recorder = (None if mode == "off"
+                    else FlightRecorder(detail=(mode == "detail")))
+        if recorder is not None:
+            recorder.attach(lab.env)
+        started = time.perf_counter()
+        lab.env.run(until=until)
+        seconds = time.perf_counter() - started
+        if recorder is not None:
+            recorder.detach()
+        return seconds, recorder, lab
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _median(samples):
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+def test_recorder_overhead_under_five_percent(benchmark, report):
+    """E-PROF gate: sampled recording <= 5% wall clock, detached ~ 0%.
+
+    Each repetition runs all three modes back to back (rotating the
+    order so every mode occupies every position equally) and the gate
+    compares the *median of per-repetition ratios*. Back-to-back runs
+    share whatever state the host is in, so a sustained slowdown —
+    another tenant, a thermal step — cancels out of the ratio instead
+    of landing on whichever mode it overlapped; the median then
+    discards the repetitions a one-off spike still skewed.
+    """
+    until, repeats = (60.0, 4) if SMOKE else (600.0, 21)
+    order = ("off", "sampled", "detail")
+
+    def run_all():
+        ratios = {"sampled": [], "detail": []}
+        walls, events = [], 0
+        for rep in range(repeats):
+            rotation = rep % len(order)
+            seconds = {}
+            for mode in order[rotation:] + order[:rotation]:
+                seconds[mode], recorder, lab = _timed_lab_run(mode, until)
+                if mode == "sampled":
+                    events = recorder.events
+                    # Detached again: the kernel is back on the fast path.
+                    assert lab.env._profiler is None
+            walls.append(seconds["off"])
+            for mode in ("sampled", "detail"):
+                ratios[mode].append(seconds[mode] / seconds["off"])
+        return ratios, walls, events
+
+    ratios, walls, events = benchmark.pedantic(run_all, rounds=1,
+                                               iterations=1)
+    sampled = _median(ratios["sampled"]) - 1.0
+    detail = _median(ratios["detail"]) - 1.0
+    report(render_table(
+        ["metric", "value"],
+        [["events per run", events],
+         ["wall clock, recorder off (s)", _median(walls)],
+         ["sampled overhead (median ratio)", sampled],
+         ["detail overhead (median ratio)", detail]],
+        title="E-PROF — wall-clock cost of the flight recorder"))
+    assert events > 1000  # the recorder actually saw the workload
+    if not SMOKE:
+        assert sampled <= 0.05, \
+            f"sampled recording costs {sampled:.1%} wall clock (budget: 5%)"
+
+
+def test_recorder_is_a_pure_side_channel(report):
+    """E-PROF fidelity: byte-identical status, >= 90% attribution.
+
+    DESIGN §12's determinism contract, checked end to end: the same
+    seeded run produces byte-for-byte identical ``status --json``
+    documents with no recorder, a sampled recorder and a detail
+    recorder, and the detail run's report attributes >= 90% of wall
+    clock to named rows (``repro profile``'s acceptance bar).
+    """
+    until = 120.0 if SMOKE else 600.0
+    documents, shares, rows = {}, {}, 0
+    for mode in ("off", "sampled", "detail"):
+        _, recorder, lab = _timed_lab_run(mode, until)
+        documents[mode] = status_json(lab.health.snapshot())
+        if recorder is not None:
+            doc = recorder.report(registry=metrics_registry(lab.net))
+            shares[mode] = doc["attributed_share"]
+            if mode == "detail":
+                rows = len(doc["attribution"])
+    assert documents["off"] == documents["sampled"] == documents["detail"]
+    share = shares["detail"]
+    report(render_table(
+        ["metric", "value"],
+        [["status --json bytes", len(documents["off"])],
+         ["byte-identical across modes", True],
+         ["attribution rows (detail)", rows],
+         ["attributed share (detail)", share],
+         ["attributed share (sampled)", shares["sampled"]]],
+        title="E-PROF — side-channel fidelity"))
+    assert share >= 0.90, \
+        f"only {share:.1%} of wall clock attributed (floor: 90%)"
+    assert rows > 10  # a real profile, not one catch-all bucket
+
+
+def test_soak_spill_history_round_trip(benchmark, report, tmp_path):
+    """E-PROF persistence: profile a soak run, replay it from sqlite.
+
+    Drives the real CLI both ways: ``repro profile soak --spill`` runs
+    the paper lab for ~1M events (smoke: ~55k) with periodic history
+    spills, then ``repro history`` answers p50/p95 queries from the
+    database alone. The in-memory store retains 120 one-second windows,
+    so everything before the final two minutes exists *only* in the
+    spill — replaying an early horizon proves persistence, not caching.
+    """
+    from io import StringIO
+
+    from repro.cli import main
+
+    db = str(tmp_path / "history.sqlite")
+    until = "1200" if SMOKE else "21600"  # ~55k / ~1M events
+    run_id = "soak-seed2009"
+
+    def profile_run_cli():
+        out = StringIO()
+        code = main(["profile", "soak", "--until", until, "--json",
+                     "--spill", db, "--run-id", run_id], out)
+        assert code == 0
+        return json.loads(out.getvalue())
+
+    profile_doc = benchmark.pedantic(profile_run_cli, rounds=1,
+                                     iterations=1)
+
+    def history(*argv):
+        out = StringIO()
+        assert main(["history", "--db", db, *argv, "--json"], out) == 0
+        return json.loads(out.getvalue())
+
+    runs = history("list")
+    assert [r["run_id"] for r in runs] == [run_id]
+    assert runs[0]["finished"] and runs[0]["events"] == profile_doc["events"]
+    if not SMOKE:
+        assert runs[0]["events"] >= 1_000_000
+
+    # An early horizon: long gone from the in-memory store's retention.
+    early = history("stats", "--run", run_id,
+                    "rpc.rtt{host=monitor-host}",
+                    "--until", "600")
+    late = history("stats", "--run", run_id,
+                   "rpc.rtt{host=monitor-host}",
+                   "--since", str(float(until) - 300))
+    assert early["windows"] > 0 and late["windows"] > 0
+    assert early["p50"] is not None and early["p95"] is not None
+    assert early["p95"] >= early["p50"]
+
+    # The replayed horizon stats are a pure function of the spilled
+    # windows: recompute from the raw series and cross-check.
+    series = history("series", "--run", run_id,
+                     "rpc.rtt{host=monitor-host}",
+                     "--until", "600")
+    assert len(series) == early["windows"]
+    assert max(w["p95"] for w in series) == early["p95"]
+
+    # The profile table and throughput trajectory rode along.
+    spilled_profile = history("profile", "--run", run_id)
+    assert spilled_profile and spilled_profile[0]["wall_s"] > 0
+    kernel_stats = history("stats", "--run", run_id,
+                           "kernel.scheduler.pops")
+    # Every processed event is one scheduler pop, so the spilled pop
+    # delta must cover at least the events the profiler saw.
+    assert kernel_stats["delta"] >= profile_doc["events"]
+
+    report(render_table(
+        ["metric", "value"],
+        [["soak sim seconds", until],
+         ["events", runs[0]["events"]],
+         ["spilled keys", len(history("keys", "--run", run_id))],
+         ["early-horizon windows", early["windows"]],
+         ["early-horizon p50 (s)", early["p50"]],
+         ["early-horizon p95 (s)", early["p95"]],
+         ["profile rows spilled", len(spilled_profile)]],
+        title="E-PROF — soak spill and history replay"))

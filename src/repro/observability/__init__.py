@@ -37,6 +37,8 @@ from .slo import Alert, Slo, SloEngine
 from .health import (DEGRADED, DOWN, UP, HealthModel, HealthMonitor,
                      default_slos, health_monitor, overload_slos)
 from .status import render_health, render_status, status_json
+from .profile import FlightRecorder, profile_run, service_times
+from .store import HistoryStore
 
 __all__ = [
     "Alert",
@@ -44,10 +46,12 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "DEGRADED",
     "DOWN",
+    "FlightRecorder",
     "Gauge",
     "HealthModel",
     "HealthMonitor",
     "Histogram",
+    "HistoryStore",
     "MetricsRegistry",
     "NULL_SPAN",
     "Slo",
@@ -68,7 +72,9 @@ __all__ = [
     "metrics_registry",
     "metrics_to_jsonl",
     "get_trace_parent",
+    "profile_run",
     "propagate_trace",
+    "service_times",
     "set_trace_parent",
     "render_span_tree",
     "tracer_of",

@@ -387,6 +387,17 @@ class HealthModel:
                 "providers": providers}
 
 
+#: Scheduler stats republished as registry instruments each beat.
+#: Monotone operation totals become counters (windowed delta/rate in the
+#: rollups and the spilled history); level signals become gauges. They are
+#: kernel- and tie-break-variant, so they feed dashboards, ``repro trace
+#: --metrics`` and the history spill — never ``status --json`` or chaos
+#: verdicts (DESIGN §12).
+_KERNEL_COUNTERS = ("pushes", "pops", "cancels", "resizes", "grows",
+                    "shrinks", "heals", "sparse_laps")
+_KERNEL_GAUGES = ("pending", "occupancy_hw", "nbuckets")
+
+
 class HealthMonitor:
     """The per-network driver: model + store + SLO engine on one clock."""
 
@@ -399,6 +410,9 @@ class HealthMonitor:
                                      retention=retention)
         self.model = HealthModel(network, self.store)
         self.engine = SloEngine(self.store)
+        #: name -> (instrument, is_counter); resolved lazily because the
+        #: heap scheduler exposes fewer stats than the calendar queue.
+        self._kernel_instruments: dict[str, tuple] = {}
         #: Rollups run unless disabled (overhead ablations flip this off).
         self.enabled = True
         from ..resilience.events import resilience_events
@@ -422,11 +436,36 @@ class HealthMonitor:
             self.tick(self.env.now)
 
     def tick(self, now: float) -> None:
-        """One management-plane beat: derive health, roll windows, judge
-        SLOs. Public so tests can step the plane without the clock."""
+        """One management-plane beat: derive health, publish kernel stats,
+        roll windows, judge SLOs. Public so tests can step the plane
+        without the clock."""
         self.model.evaluate(now)
+        self._publish_kernel_stats()
         self.store.collect(now)
         self.engine.evaluate(now)
+
+    def _publish_kernel_stats(self) -> None:
+        """Mirror the scheduler's internals into ``kernel.scheduler.*``
+        instruments so they roll into windows and the spilled history."""
+        stats = self.env.scheduler_stats()
+        instruments = self._kernel_instruments
+        if not instruments:
+            registry = self.store.registry
+            for name in _KERNEL_COUNTERS:
+                if name in stats:
+                    instruments[name] = (
+                        registry.counter(f"kernel.scheduler.{name}"), True)
+            for name in _KERNEL_GAUGES:
+                if name in stats:
+                    instruments[name] = (
+                        registry.gauge(f"kernel.scheduler.{name}"), False)
+        for name, (instrument, is_counter) in instruments.items():
+            value = stats[name]
+            if is_counter:
+                if value > instrument.value:
+                    instrument.inc(value - instrument.value)
+            else:
+                instrument.set(value)
 
     def snapshot(self) -> dict:
         """The full operator view (plain data, JSON-serializable)."""

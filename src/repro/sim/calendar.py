@@ -60,13 +60,18 @@ _INF = float("inf")
 class HeapScheduler:
     """Reference binary-heap scheduler (the pre-refactor kernel queue)."""
 
-    __slots__ = ("_heap", "_dead")
+    __slots__ = ("_heap", "_dead", "pushes", "pops", "cancels")
 
     kind = "heap"
 
     def __init__(self):
         self._heap: list[tuple] = []
         self._dead: set[int] = set()
+        #: Lifetime operation counters — the flight recorder reads these;
+        #: they never feed back into scheduling.
+        self.pushes = 0
+        self.pops = 0
+        self.cancels = 0
 
     @property
     def size(self) -> int:
@@ -77,6 +82,7 @@ class HeapScheduler:
 
     def push(self, time: float, priority: int, tie: float, seq: int,
              event: Any) -> None:
+        self.pushes += 1
         heapq.heappush(self._heap, (time, priority, tie, seq, event))
 
     def pop(self) -> tuple:
@@ -88,6 +94,7 @@ class HeapScheduler:
             if dead and entry[3] in dead:
                 dead.discard(entry[3])
                 continue
+            self.pops += 1
             return entry
         raise IndexError("pop from empty scheduler")
 
@@ -104,7 +111,19 @@ class HeapScheduler:
 
     def cancel(self, seq: int) -> None:
         """Tombstone the occurrence scheduled under ``seq`` (lazy removal)."""
+        self.cancels += 1
         self._dead.add(seq)
+
+    def stats(self) -> dict:
+        """Deterministic internals snapshot (operation totals + pending).
+
+        Wall-clock-free and read-only — but *not* tie-break-invariant for
+        the calendar (shuffled ties split cells differently), so this never
+        feeds canonical sim-side outputs. See DESIGN §12.
+        """
+        return {"kind": self.kind, "pending": self.size,
+                "pushes": self.pushes, "pops": self.pops,
+                "cancels": self.cancels}
 
 
 # Cell layout: [time, priority, tie, year, fifo] where fifo is a deque of
@@ -116,7 +135,9 @@ class CalendarQueue:
     """Bucketed calendar-queue scheduler with FIFO tie cells."""
 
     __slots__ = ("_buckets", "_nbuckets", "_width", "_size", "_year",
-                 "_dead", "_peek_cache", "_pushes")
+                 "_dead", "_peek_cache", "_pushes", "pushes", "pops",
+                 "cancels", "grows", "shrinks", "heals", "occupancy_hw",
+                 "sparse_laps")
 
     kind = "calendar"
 
@@ -147,6 +168,16 @@ class CalendarQueue:
         #: ties at one instant) triggers at most one resize per
         #: ``nbuckets`` pushes instead of thrashing on every push.
         self._pushes = 0
+        #: Lifetime internals counters (read by the flight recorder and the
+        #: kernel gauges; never consulted by the scheduling logic itself).
+        self.pushes = 0
+        self.pops = 0
+        self.cancels = 0
+        self.grows = 0      # size-doubling resizes
+        self.shrinks = 0    # size-halving resizes
+        self.heals = 0      # same-count width re-estimations
+        self.occupancy_hw = 0  # deepest bucket (in cells) ever seen
+        self.sparse_laps = 0   # fruitless laps that fell back to min-scan
 
     @property
     def size(self) -> int:
@@ -159,7 +190,21 @@ class CalendarQueue:
 
     def push(self, time: float, priority: int, tie: float, seq: int,
              event: Any) -> None:
-        self._peek_cache = None
+        self.pushes += 1
+        cache = self._peek_cache
+        if cache is not None:
+            # The located head stays the minimum unless this push lands
+            # strictly earlier: pushes never remove cells, an equal key
+            # joins the head cell's FIFO, and a later key sorts behind it.
+            # Keeping the cache makes the recurring-timer cycle (peek →
+            # pop → push next tick) locate-free.
+            head = self._buckets[cache[0]][-1]
+            ht = head[0]
+            if time < ht or (time == ht
+                             and (priority < head[1]
+                                  or (priority == head[1]
+                                      and tie < head[2]))):
+                self._peek_cache = None
         year = int(time // self._width)
         if self._size == 0:
             # Empty queue: re-aim the calendar so the next scan starts at
@@ -198,17 +243,23 @@ class CalendarQueue:
                            deque(((seq, event),))])
         self._size += 1
         self._pushes += 1
+        depth = len(bucket)
+        if depth > self.occupancy_hw:
+            self.occupancy_hw = depth
         if self._size > 2 * self._nbuckets:
+            self.grows += 1
             self._resize(2 * self._nbuckets)
-        elif (len(bucket) > self.HEAL_OCCUPANCY
+        elif (depth > self.HEAL_OCCUPANCY
                 and self._pushes >= self._nbuckets
                 and bucket[0][0] != bucket[-1][0]):
             # Overlong bucket spanning distinct times: the width is stale
             # (see HEAL_OCCUPANCY) — re-estimate it over the live set.
+            self.heals += 1
             self._resize(self._nbuckets)
 
     def cancel(self, seq: int) -> None:
         """Tombstone the occurrence scheduled under ``seq`` (lazy removal)."""
+        self.cancels += 1
         self._dead.add(seq)
         self._peek_cache = None
 
@@ -231,12 +282,20 @@ class CalendarQueue:
                 bucket.pop()
             self._size -= 1
             self._year = year
+            # Re-arm the cache when the next head is already known: every
+            # year-``year`` occurrence lives in this bucket (one bucket per
+            # year), so a tail cell still in ``year`` is the global min and
+            # the next pop/peek skips the lap scan entirely.
+            if bucket and bucket[-1][3] == year:
+                self._peek_cache = (index, year)
             if dead and seq in dead:
                 dead.discard(seq)
                 continue
             if (self._size < self._nbuckets // 2
                     and self._nbuckets > self.MIN_BUCKETS):
+                self.shrinks += 1
                 self._resize(self._nbuckets // 2)
+            self.pops += 1
             return (cell[0], cell[1], cell[2], seq, event)
 
     def peek_time(self) -> float:
@@ -286,6 +345,7 @@ class CalendarQueue:
             year += 1
         # Sparse queue: nothing within the next full calendar lap. Jump
         # straight to the earliest head by full key.
+        self.sparse_laps += 1
         best = None
         best_index = -1
         for j in range(n):
@@ -319,6 +379,23 @@ class CalendarQueue:
         self._pushes = 0
         # Re-aim the calendar at the earliest pending cell.
         self._year = min_year if min_year is not None else 0
+
+    def stats(self) -> dict:
+        """Deterministic internals snapshot (operation totals + shape).
+
+        Wall-clock-free and read-only, but tie-break-*variant*: shuffled
+        ties split same-instant bursts into distinct cells, changing
+        occupancy, heals and resizes — so this never feeds canonical
+        sim-side outputs (status --json, chaos verdicts). See DESIGN §12.
+        """
+        return {"kind": self.kind, "pending": self.size,
+                "pushes": self.pushes, "pops": self.pops,
+                "cancels": self.cancels,
+                "resizes": self.grows + self.shrinks + self.heals,
+                "grows": self.grows, "shrinks": self.shrinks,
+                "heals": self.heals, "occupancy_hw": self.occupancy_hw,
+                "sparse_laps": self.sparse_laps,
+                "nbuckets": self._nbuckets, "width": self._width}
 
     @staticmethod
     def _estimate_width(cells: list) -> float:

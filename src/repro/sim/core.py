@@ -415,6 +415,17 @@ class Environment:
         if sanitize:
             mode = sanitize if isinstance(sanitize, str) else "raise"
             self.sanitizer = RaceSanitizer(mode=mode)
+        #: Wall-clock flight recorder hook (see
+        #: :mod:`repro.observability.profile`). ``None`` keeps :meth:`step`
+        #: on the branch-free fast path; when set, the recorder's
+        #: ``enter``/``exit`` pair brackets every event's callbacks. The
+        #: kernel itself never reads a wall clock — the recorder owns it —
+        #: and the recorder only observes, so simulation state and event
+        #: order are bit-identical with or without it.
+        self._profiler = None
+        #: Sampled-mode countdown to the next profiler stamp; owned by
+        #: :meth:`step` (see there), reset by the recorder's ``attach``.
+        self._prof_countdown = 1
 
     # -- clock --------------------------------------------------------------
 
@@ -457,24 +468,67 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` if queue is empty."""
         return self._scheduler.peek_time()
 
+    def scheduler_stats(self) -> dict:
+        """The pending-event structure's internals snapshot (operation
+        totals, occupancy shape). Read-only and wall-clock-free; see
+        the scheduler ``stats()`` docstrings for the determinism caveat."""
+        return self._scheduler.stats()
+
     def step(self) -> None:
         """Process the next scheduled event."""
         if not self._scheduler.size:
             raise SimulationError("nothing scheduled")
         when, prio, _tie, seq, event = self._scheduler.pop()
         self._now = when
+        profiler = self._profiler
         if self.sanitizer is None:
-            event._run_callbacks()
+            if profiler is None:
+                event._run_callbacks()
+                return
+            if profiler.exit is None:
+                # Observe-only recorder (sampled mode). The kernel owns
+                # the countdown so the off-sample path is pure integer
+                # arithmetic — no hook call, no bracketing. The counter
+                # is deterministic state (no wall clock enters the
+                # kernel) and exists only while a recorder is attached.
+                countdown = self._prof_countdown - 1
+                if countdown:
+                    self._prof_countdown = countdown
+                    event._run_callbacks()
+                    return
+                self._prof_countdown = profiler.period
+                profiler.enter(event)
+                event._run_callbacks()
+                return
+            profiler.enter(event)
+            try:
+                event._run_callbacks()
+            finally:
+                profiler.exit(event)
             return
         # Sanitize mode: make this environment's sanitizer visible to
         # instrumented shared state for the duration of the callbacks.
         self.sanitizer.begin_event(when, prio, seq, event)
         previous = _san._active
         _san._active = self.sanitizer
+        bracketed = None
+        if profiler is not None:
+            if profiler.exit is None:
+                countdown = self._prof_countdown - 1
+                if countdown:
+                    self._prof_countdown = countdown
+                else:
+                    self._prof_countdown = profiler.period
+                    profiler.enter(event)
+            else:
+                bracketed = profiler
+                profiler.enter(event)
         try:
             event._run_callbacks()
         finally:
             _san._active = previous
+            if bracketed is not None:
+                bracketed.exit(event)
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run the simulation.

@@ -1,0 +1,254 @@
+"""Flight-recorder tests — aggregation fidelity and the side-channel
+contract (DESIGN §12).
+
+Wall-clock *values* are machine noise, so every aggregation test injects
+a fake clock that advances a fixed step per read: the recorder's sums,
+counts and shares become exact arithmetic. The determinism tests then
+pin the contract that matters in production — a run's simulation-side
+output is byte-identical with no recorder, a sampled recorder and a
+detail recorder, under tie-break shuffling too.
+"""
+
+import pytest
+
+from repro.observability import (FlightRecorder, MetricsRegistry,
+                                 profile_run, service_times, status_json)
+from repro.scenarios import build_paper_lab
+from repro.sim import Environment
+
+
+class FakeClock:
+    """Advances ``step`` seconds per read — wall time as arithmetic."""
+
+    def __init__(self, step: float = 0.001):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def ticker_env(rounds: int = 50, procs: int = 2) -> Environment:
+    """An Environment with ``procs`` named tickers of ``rounds`` timeouts."""
+    env = Environment()
+
+    def tick():
+        for _ in range(rounds):
+            yield env.timeout(1.0)
+
+    for i in range(procs):
+        env.process(tick(), name=f"tick-{i}")
+    return env
+
+
+def events_of(env: Environment) -> int:
+    """Exact events processed so far: every event is one scheduler pop."""
+    return env.scheduler_stats()["pops"]
+
+
+# -- lifecycle -----------------------------------------------------------------
+
+
+def test_hooks_raise_until_attached():
+    recorder = FlightRecorder()
+    with pytest.raises(RuntimeError):
+        recorder.enter(None)
+
+
+def test_one_profiler_per_environment():
+    env = ticker_env()
+    first = FlightRecorder().attach(env)
+    with pytest.raises(ValueError):
+        FlightRecorder().attach(env)
+    first.detach()
+    assert env._profiler is None  # kernel back on the fast path
+
+
+def test_one_environment_per_recorder():
+    recorder = FlightRecorder().attach(ticker_env())
+    with pytest.raises(ValueError):
+        recorder.attach(ticker_env())
+
+
+def test_profile_run_detaches_on_exit():
+    env = ticker_env()
+    with profile_run(env) as recorder:
+        env.run(until=10.0)
+        assert recorder.attached
+    assert not recorder.attached
+    assert env._profiler is None
+    assert recorder.events == events_of(env)
+
+
+# -- sampled mode --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("period", [1, 3, 7, 32, 1000])
+def test_sampled_event_count_is_exact_for_any_period(period):
+    env = ticker_env()
+    recorder = FlightRecorder(clock=FakeClock(), period=period).attach(env)
+    env.run()
+    recorder.detach()
+    # The kernel countdown makes the count exact even mid-period (and for
+    # a period longer than the whole run).
+    assert recorder.events == events_of(env)
+
+
+def test_sampled_period_one_is_exact_per_event_timing():
+    clock = FakeClock(step=0.5)
+    env = ticker_env(rounds=20, procs=1)
+    recorder = FlightRecorder(clock=clock, period=1).attach(env)
+    env.run()
+    recorder.detach()
+    report = recorder.report()
+    events = events_of(env)
+    # Every event took one stamp; each stamp advanced the fake clock one
+    # step and charged exactly that step to a row.
+    assert report["mode"] == "sampled"
+    assert report["events"] == events
+    assert sum(row["count"] for row in report["attribution"]) == events
+    total = sum(row["wall_s"] for row in report["attribution"])
+    assert total == pytest.approx(events * clock.step)
+    targets = {row["target"] for row in report["attribution"]}
+    assert "process:tick-0" in targets
+
+
+def test_sampled_attribution_covers_the_run():
+    env = ticker_env(rounds=200, procs=3)
+    recorder = FlightRecorder(clock=FakeClock(), period=4).attach(env)
+    env.run()
+    recorder.detach()
+    report = recorder.report()
+    assert report["sample_period"] == 4
+    # Every sample charges the full stretch since the previous stamp, so
+    # attribution covers the run except the attach/detach framing and at
+    # most period-1 trailing events.
+    assert report["attributed_share"] >= 0.90
+    # Sample counts scale into event estimates: off by at most one
+    # period's worth per row boundary, exact in total.
+    estimated = sum(row["count"] for row in report["attribution"])
+    assert estimated == pytest.approx(report["events"], abs=4)
+
+
+def test_throughput_samples_ride_along():
+    env = ticker_env(rounds=300, procs=2)
+    recorder = FlightRecorder(clock=FakeClock(), period=2,
+                              sample_every=64).attach(env)
+    env.run()
+    recorder.detach()
+    samples = recorder.report()["throughput"]
+    assert len(samples) >= 2
+    events = [s["events"] for s in samples]
+    assert events == sorted(events)           # monotone
+    assert all(n % 64 == 0 for n in events)   # on the configured grid
+    assert all(s["sim_t"] <= env.now for s in samples)
+
+
+def test_period_validation():
+    with pytest.raises(ValueError):
+        FlightRecorder(period=0)
+    with pytest.raises(ValueError):
+        FlightRecorder(sample_every=0)
+
+
+# -- detail mode ---------------------------------------------------------------
+
+
+def test_detail_mode_counts_are_exact_with_kernel_row():
+    clock = FakeClock(step=0.25)
+    env = ticker_env(rounds=40, procs=2)
+    recorder = FlightRecorder(clock=clock, detail=True).attach(env)
+    env.run()
+    recorder.detach()
+    report = recorder.report()
+    events = events_of(env)
+    assert report["mode"] == "detail"
+    assert report["events"] == events
+    rows = {(r["event_type"], r["target"]): r for r in report["attribution"]}
+    kernel = rows.pop(("kernel", "scheduler+dispatch"))
+    assert kernel["count"] == events
+    # Exact per-row counts: the non-kernel rows partition the events.
+    assert sum(r["count"] for r in rows.values()) == events
+    assert report["kernel_share"] + report["callback_share"] == \
+        pytest.approx(report["attributed_share"], abs=0.001)
+
+
+def test_report_truncation_sums_the_tail():
+    env = ticker_env(rounds=10, procs=6)
+    recorder = FlightRecorder(clock=FakeClock(), period=1).attach(env)
+    env.run()
+    recorder.detach()
+    full = recorder.report()
+    clipped = recorder.report(top=3)
+    assert len(clipped["attribution"]) == 3
+    tail = clipped["truncated"]
+    assert tail["rows"] == len(full["attribution"]) - 3
+    assert tail["count"] == (sum(r["count"] for r in full["attribution"])
+                             - sum(r["count"] for r in
+                                   clipped["attribution"]))
+
+
+def test_reattach_accumulates_without_double_counting():
+    clock = FakeClock()
+    env = ticker_env(rounds=100, procs=1)
+    recorder = FlightRecorder(clock=clock, period=1).attach(env)
+    env.run(until=20.0)
+    recorder.detach()
+    first_events = recorder.events
+    first_wall = recorder.report()["wall_s"]
+    recorder.attach(env)
+    env.run(until=50.0)
+    recorder.detach()
+    report = recorder.report()
+    assert first_events > 0
+    assert report["events"] == events_of(env)
+    assert report["wall_s"] > first_wall
+    # Shares still sum to <= 1: nothing was charged twice.
+    assert report["attributed_share"] <= 1.0
+
+
+# -- service-time aggregation --------------------------------------------------
+
+
+def test_service_times_summarizes_histograms():
+    registry = MetricsRegistry()
+    hist = registry.histogram("provider.service_time", provider="Neem")
+    for value in (0.002, 0.004, 0.008):
+        hist.observe(value)
+    registry.histogram("rpc.rtt", host="h1").observe(0.003)
+    registry.counter("provider.service_time_ignored").inc()
+    out = service_times(registry)
+    assert set(out) == {"providers", "rpc"}
+    neem = out["providers"]["provider=Neem"]
+    assert neem["count"] == 3
+    assert neem["p50"] <= neem["p95"]
+    assert out["rpc"]["host=h1"]["count"] == 1
+
+
+# -- the side-channel contract (DESIGN §12) ------------------------------------
+
+
+def _status_after_run(mode, seed=2009, until=30.0):
+    lab = build_paper_lab(seed=seed)
+    lab.settle(6.0)
+    recorder = (None if mode == "off"
+                else FlightRecorder(detail=(mode == "detail")))
+    if recorder is not None:
+        recorder.attach(lab.env)
+    lab.env.run(until=until)
+    if recorder is not None:
+        recorder.detach()
+    return status_json(lab.health.snapshot())
+
+
+def test_recorder_never_changes_simulation_output():
+    off = _status_after_run("off")
+    assert off == _status_after_run("sampled")
+    assert off == _status_after_run("detail")
+
+
+def test_recorder_is_shuffle_invariant(shuffle_seed):
+    """Tie-break shuffling exercises different same-time event orders;
+    the recorder must stay a pure observer under every order."""
+    assert _status_after_run("off") == _status_after_run("sampled")
