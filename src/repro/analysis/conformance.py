@@ -1,0 +1,333 @@
+"""API0xx — RPC interface conformance (whole-program).
+
+A :class:`~repro.net.rpc.RemoteRef` is an untyped proxy: the method name
+travels as a string and nothing checks it until the server raises at
+dispatch time, three simulated hops from the call site. This pass collects
+every export table the program declares and checks every
+``endpoint.call(ref, "method", ...)`` site against the union of them:
+
+=======  ==================================================================
+API001   the called selector is not exported by any interface in the
+         program
+API002   no exported method with that name accepts the call's arity
+API003   an ``export(..., methods=...)`` tuple names a method the
+         exported class does not define
+=======  ==================================================================
+
+What resolves (DESIGN §13 lists the escape hatches):
+
+* ``export(self, ...)`` → the enclosing class;
+* ``export(ClassName(...), ...)`` and ``x = ClassName(...); export(x,``
+  → the class definition, looked up program-wide by name;
+* ``methods=`` as a literal tuple/list of strings or a (``self.``)
+  ``NAME`` resolved against the exported class's class attributes;
+* call sites: any ``<expr>.call(ref, "selector", ...)`` whose second
+  positional argument is a string literal.
+
+Because refs are untyped, checks use *union* semantics — a call conforms
+when **any** exported interface accepts it — and the whole pass stands
+down when the program declares no exports (a snippet or a pure-client
+tree has no interface universe to check against). Classes whose bases
+cannot all be resolved in the program are treated as open interfaces:
+their unknown inherited methods disable API001 for the whole run rather
+than risk inventing a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .rules import ProgramRule, register
+
+__all__ = ["collect_interfaces"]
+
+#: kwargs consumed by RpcEndpoint.call itself, never forwarded.
+_INFRA_KWARGS = frozenset({"timeout", "kind", "trace_parent"})
+
+
+class MethodSig:
+    """Callable shape of one remote method (``self`` excluded)."""
+
+    __slots__ = ("name", "min_args", "max_args", "param_names", "has_kwargs")
+
+    def __init__(self, func: ast.AST):
+        self.name = func.name
+        args = func.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if positional and positional[0].arg in ("self", "cls"):
+            positional = positional[1:]
+        defaults = len(args.defaults)
+        self.min_args = len(positional) - defaults
+        self.max_args = None if args.vararg else len(positional)
+        self.param_names = {a.arg for a in positional} \
+            | {a.arg for a in args.kwonlyargs}
+        self.has_kwargs = args.kwarg is not None
+
+    def accepts(self, n_positional: int, kwarg_names) -> bool:
+        kwarg_names = set(kwarg_names)
+        if not self.has_kwargs and not kwarg_names <= self.param_names:
+            return False
+        needed = n_positional + len(kwarg_names & self.param_names)
+        if needed < self.min_args:
+            return False
+        if self.max_args is not None and n_positional > self.max_args:
+            return False
+        return True
+
+
+class Interface:
+    """One export site: the class, its selector set, and its signatures."""
+
+    __slots__ = ("class_name", "selectors", "signatures", "open_base",
+                 "module_path", "line")
+
+    def __init__(self, class_name: str, selectors, signatures: dict,
+                 open_base: bool, module_path: str, line: int):
+        self.class_name = class_name
+        self.selectors = selectors        # None = every public method
+        self.signatures = signatures      # name -> MethodSig
+        self.open_base = open_base
+        self.module_path = module_path
+        self.line = line
+
+    def exported_names(self):
+        if self.selectors is not None:
+            return set(self.selectors)
+        return set(self.signatures)
+
+
+def _class_table(modules) -> dict:
+    table: dict[str, tuple] = {}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                table.setdefault(node.name, (node, module))
+    return table
+
+
+def _class_signatures(cls: ast.ClassDef, table: dict) -> tuple:
+    """``(signatures, open_base)`` walking resolvable bases depth-first."""
+    signatures: dict[str, MethodSig] = {}
+    open_base = False
+    seen = set()
+
+    def visit(node: ast.ClassDef) -> None:
+        nonlocal open_base
+        if node.name in seen:
+            return
+        seen.add(node.name)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and not stmt.name.startswith("_"):
+                signatures.setdefault(stmt.name, MethodSig(stmt))
+        for base in node.bases:
+            name = base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else None)
+            if name in (None, "object"):
+                open_base = open_base or name is None
+                continue
+            if name in table:
+                visit(table[name][0])
+            else:
+                open_base = True
+
+    visit(cls)
+    return signatures, open_base
+
+
+def _string_tuple(expr: ast.AST) -> Optional[tuple]:
+    if isinstance(expr, (ast.Tuple, ast.List)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in expr.elts):
+        return tuple(e.value for e in expr.elts)
+    return None
+
+
+def _class_attr_tuple(cls: ast.ClassDef, name: str) -> Optional[tuple]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == name
+                for t in stmt.targets):
+            return _string_tuple(stmt.value)
+    return None
+
+
+def _resolve_exported_class(obj: ast.AST, enclosing_class, func,
+                            table: dict) -> Optional[ast.ClassDef]:
+    if isinstance(obj, ast.Name):
+        if obj.id == "self":
+            return enclosing_class
+        # A local `slot = SlotClass(...)` binding earlier in the function.
+        if func is not None:
+            for node in ast.walk(func):
+                if (isinstance(node, ast.Assign)
+                        and any(isinstance(t, ast.Name) and t.id == obj.id
+                                for t in node.targets)
+                        and isinstance(node.value, ast.Call)
+                        and isinstance(node.value.func, ast.Name)
+                        and node.value.func.id in table):
+                    return table[node.value.func.id][0]
+        return None
+    if isinstance(obj, ast.Call) and isinstance(obj.func, ast.Name) \
+            and obj.func.id in table:
+        return table[obj.func.id][0]
+    return None
+
+
+def _resolve_selectors(call: ast.Call, cls: ast.ClassDef) -> tuple:
+    """``(selectors, resolved)`` from the ``methods=`` argument."""
+    methods_arg = None
+    if len(call.args) >= 3:
+        methods_arg = call.args[2]
+    for kw in call.keywords:
+        if kw.arg == "methods":
+            methods_arg = kw.value
+    if methods_arg is None or (isinstance(methods_arg, ast.Constant)
+                               and methods_arg.value is None):
+        return None, True
+    literal = _string_tuple(methods_arg)
+    if literal is not None:
+        return literal, True
+    name = None
+    if isinstance(methods_arg, ast.Attribute):
+        name = methods_arg.attr
+    elif isinstance(methods_arg, ast.Name):
+        name = methods_arg.id
+    if name is not None and cls is not None:
+        attr = _class_attr_tuple(cls, name)
+        if attr is not None:
+            return attr, True
+    return None, False
+
+
+def collect_interfaces(modules) -> list:
+    """Every resolvable ``export(...)`` site in the program."""
+    table = _class_table(modules)
+    interfaces: list = []
+    for module in modules:
+        # Walk with enclosing class/function tracking.
+        stack: list[tuple] = [(module.tree, None, None)]
+        while stack:
+            node, enclosing_class, enclosing_func = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                cls = enclosing_class
+                func = enclosing_func
+                if isinstance(child, ast.ClassDef):
+                    cls, func = child, None
+                elif isinstance(child, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                    func = child
+                stack.append((child, cls, func))
+                if not (isinstance(child, ast.Call)
+                        and isinstance(child.func, ast.Attribute)
+                        and child.func.attr == "export"
+                        and child.args):
+                    continue
+                exported = _resolve_exported_class(
+                    child.args[0], enclosing_class, enclosing_func, table)
+                if exported is None:
+                    continue
+                selectors, resolved = _resolve_selectors(child, exported)
+                if not resolved:
+                    selectors = None  # unreadable restriction: assume open
+                signatures, open_base = _class_signatures(exported, table)
+                interfaces.append(Interface(
+                    exported.name, selectors, signatures, open_base,
+                    module.path, child.lineno))
+    interfaces.sort(key=lambda i: (i.module_path, i.line))
+    return interfaces
+
+
+def _call_sites(modules) -> Iterator[tuple]:
+    """``(module, call, selector, n_positional, kwarg_names)`` for every
+    ``<expr>.call(ref, "selector", ...)`` site."""
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "call"
+                    and len(node.args) >= 2
+                    and isinstance(node.args[1], ast.Constant)
+                    and isinstance(node.args[1].value, str)):
+                continue
+            if any(isinstance(a, ast.Starred) for a in node.args):
+                continue  # *args call: arity is dynamic
+            kwarg_names = [kw.arg for kw in node.keywords
+                           if kw.arg is not None
+                           and kw.arg not in _INFRA_KWARGS]
+            if any(kw.arg is None for kw in node.keywords):
+                continue  # **kwargs call: names are dynamic
+            yield (module, node, node.args[1].value,
+                   len(node.args) - 2, kwarg_names)
+
+
+@register
+class UnknownSelectorRule(ProgramRule):
+    rule_id = "API001"
+    summary = "RPC call to a selector no exported interface declares"
+    hint = ("the server will raise AttributeError at dispatch time; "
+            "export the method or fix the selector string")
+
+    def check_program(self, modules) -> Iterator[tuple]:
+        interfaces = collect_interfaces(modules)
+        if not interfaces or any(i.open_base and i.selectors is None
+                                 for i in interfaces):
+            return
+        universe = set()
+        for iface in interfaces:
+            universe |= iface.exported_names()
+        for module, call, selector, _n, _kw in _call_sites(modules):
+            if selector not in universe:
+                yield (module.path, call.lineno,
+                       f"selector {selector!r} is not exported by any "
+                       f"interface in the program")
+
+
+@register
+class ArityMismatchRule(ProgramRule):
+    rule_id = "API002"
+    summary = "RPC call arity matches no exported method of that name"
+    hint = ("the server will raise TypeError at dispatch time; compare "
+            "the call with the exported method's signature")
+
+    def check_program(self, modules) -> Iterator[tuple]:
+        interfaces = collect_interfaces(modules)
+        if not interfaces:
+            return
+        for module, call, selector, n_pos, kwarg_names in \
+                _call_sites(modules):
+            candidates = [
+                iface.signatures[selector] for iface in interfaces
+                if selector in iface.exported_names()
+                and selector in iface.signatures]
+            if not candidates:
+                continue  # API001's department
+            if any(sig.accepts(n_pos, kwarg_names) for sig in candidates):
+                continue
+            shapes = sorted({
+                f"{sig.min_args}"
+                if sig.max_args == sig.min_args else
+                f"{sig.min_args}..{'*' if sig.max_args is None else sig.max_args}"
+                for sig in candidates})
+            yield (module.path, call.lineno,
+                   f"call passes {n_pos} positional arg(s) to {selector!r} "
+                   f"but exported signatures take {', '.join(shapes)}")
+
+
+@register
+class PhantomExportRule(ProgramRule):
+    rule_id = "API003"
+    summary = "export restricts to a method the class does not define"
+    hint = ("the selector can never dispatch — remove it from methods= "
+            "or implement it on the exported class")
+
+    def check_program(self, modules) -> Iterator[tuple]:
+        for iface in collect_interfaces(modules):
+            if iface.selectors is None or iface.open_base:
+                continue
+            for selector in iface.selectors:
+                if selector not in iface.signatures:
+                    yield (iface.module_path, iface.line,
+                           f"methods= names {selector!r} but class "
+                           f"{iface.class_name} does not define it")

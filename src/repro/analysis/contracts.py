@@ -1,0 +1,278 @@
+"""CTX0xx — ServiceContext path-contract dataflow (whole-program).
+
+The federation's hops communicate through path-addressed
+:class:`~repro.sorcer.context.ServiceContext` slots ("arg/name",
+"trace/parent", ...). The contract between a writer and a reader is just a
+string — nothing checks it until the value comes back ``None`` three hops
+later. This pass harvests every statically-resolvable path the program
+reads or writes into a contract registry and cross-checks the two sides:
+
+=======  ==================================================================
+CTX001   a read of a path no statement in the program can ever write
+CTX002   a write to a path no statement in the program ever reads
+CTX003   a read path that is an edit-distance-1 near miss of a path the
+         program does write — almost certainly a typo
+CTX004   a raw string literal for a path that has a declared ``*_PATH``
+         constant — the literal silently forks the contract
+=======  ==================================================================
+
+What resolves (everything else is skipped, see DESIGN §13):
+
+* string literals containing ``/`` passed to ``put_value`` /
+  ``put_in_value`` / ``put_out_value`` / ``get_value`` / ``has_path``,
+  and to direct ``ctx._data[...]`` / ``ctx._data.get(...)`` access;
+* names whose terminal identifier matches a module-level ``*_PATH``
+  string constant (resolved program-wide by name);
+* f-strings whose literal head contains ``/`` — harvested as a *prefix*
+  (``f"arg/{key}"`` writes the whole ``arg/`` subtree).
+
+A prefix write satisfies every read under it and vice versa. Reads/writes
+through variables, attributes like ``pipe.to_path``, or f-strings with no
+literal head are invisible to the pass — it can under-report, never
+fabricate a contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .rules import ProgramRule, register
+
+__all__ = ["ContractRegistry", "harvest"]
+
+_PUT_METHODS = frozenset({"put_value", "put_in_value", "put_out_value"})
+_GET_METHODS = frozenset({"get_value", "has_path"})
+
+
+class PathUse:
+    """One statically-resolved read or write of a context path."""
+
+    __slots__ = ("path", "is_prefix", "module_path", "line", "raw_literal")
+
+    def __init__(self, path: str, is_prefix: bool, module_path: str,
+                 line: int, raw_literal: bool):
+        self.path = path
+        self.is_prefix = is_prefix
+        self.module_path = module_path
+        self.line = line
+        self.raw_literal = raw_literal
+
+
+class ContractRegistry:
+    """All harvested path uses plus the declared ``*_PATH`` constants."""
+
+    def __init__(self):
+        self.reads: list = []
+        self.writes: list = []
+        #: constant name -> (value, module_path, line)
+        self.constants: dict[str, tuple] = {}
+
+
+def _terminal_name(expr: ast.AST) -> Optional[str]:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _resolve_path(expr: ast.AST, constants: dict) -> Optional[tuple]:
+    """``(path, is_prefix, raw_literal)`` or None when unresolvable."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        text = expr.value
+        if "*" in text:
+            head = text.split("*", 1)[0]
+            return (head, True, False) if "/" in head else None
+        return (text, False, True) if "/" in text else None
+    name = _terminal_name(expr)
+    if name is not None and name in constants:
+        return constants[name][0], False, False
+    if isinstance(expr, ast.JoinedStr) and expr.values:
+        head = expr.values[0]
+        if isinstance(head, ast.Constant) and isinstance(head.value, str) \
+                and "/" in head.value:
+            return head.value, True, False
+        return None
+    return None
+
+
+def _harvest_constants(modules, registry: ContractRegistry) -> None:
+    for module in modules:
+        for node in module.tree.body:
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id.endswith("_PATH")
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)
+                    and "/" in node.value.value):
+                registry.constants[node.targets[0].id] = (
+                    node.value.value, module.path, node.lineno)
+
+
+def _harvest_uses(module, registry: ContractRegistry) -> None:
+    constants = registry.constants
+
+    def record(side: list, expr: ast.AST, line: int) -> None:
+        resolved = _resolve_path(expr, constants)
+        if resolved is None:
+            return
+        path, is_prefix, raw = resolved
+        side.append(PathUse(path, is_prefix, module.path, line, raw))
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            method = None
+            if isinstance(node.func, ast.Attribute):
+                method = node.func.attr
+            if method in _PUT_METHODS and 1 <= len(node.args) <= 2:
+                record(registry.writes, node.args[0], node.lineno)
+            elif method in _GET_METHODS and 1 <= len(node.args) <= 2:
+                record(registry.reads, node.args[0], node.lineno)
+            elif (method == "get" and isinstance(node.func.value,
+                                                 ast.Attribute)
+                    and node.func.value.attr == "_data"
+                    and 1 <= len(node.args) <= 2):
+                record(registry.reads, node.args[0], node.lineno)
+        elif isinstance(node, ast.Subscript) \
+                and isinstance(node.value, ast.Attribute) \
+                and node.value.attr == "_data":
+            side = (registry.writes if isinstance(node.ctx, ast.Store)
+                    else registry.reads)
+            record(side, node.slice, node.lineno)
+
+
+def harvest(modules) -> ContractRegistry:
+    """Build the program-wide contract registry from parsed modules."""
+    registry = ContractRegistry()
+    _harvest_constants(modules, registry)
+    for module in modules:
+        _harvest_uses(module, registry)
+    return registry
+
+
+def _covered(use, others) -> bool:
+    """Does any use on the *other* side reach the same slot(s)?"""
+    for other in others:
+        if use.is_prefix and other.is_prefix:
+            if use.path.startswith(other.path) \
+                    or other.path.startswith(use.path):
+                return True
+        elif use.is_prefix:
+            if other.path.startswith(use.path):
+                return True
+        elif other.is_prefix:
+            if use.path.startswith(other.path):
+                return True
+        elif use.path == other.path:
+            return True
+    return False
+
+
+def _edit_distance_at_most_one(a: str, b: str) -> bool:
+    if a == b:
+        return False
+    if abs(len(a) - len(b)) > 1:
+        return False
+    if len(a) > len(b):
+        a, b = b, a
+    # b is the longer (or equal-length) string; one pass suffices.
+    i = j = 0
+    edited = False
+    while i < len(a) and j < len(b):
+        if a[i] == b[j]:
+            i += 1
+            j += 1
+            continue
+        if edited:
+            return False
+        edited = True
+        if len(a) == len(b):
+            i += 1
+        j += 1
+    return True
+
+
+@register
+class OrphanReadRule(ProgramRule):
+    rule_id = "CTX001"
+    summary = "context path read with no possible writer"
+    hint = ("no statement in the linted program writes this path — the "
+            "read can only ever see its default; if the writer is outside "
+            "the linted tree, suppress with `# repro: allow[CTX001]`")
+
+    def check_program(self, modules) -> Iterator[tuple]:
+        registry = harvest(modules)
+        written = {use.path for use in registry.writes if not use.is_prefix}
+        for use in registry.reads:
+            if _covered(use, registry.writes):
+                continue
+            if not use.is_prefix and any(
+                    _edit_distance_at_most_one(use.path, path)
+                    for path in written):
+                continue  # CTX003 reports the near-miss more precisely
+            what = (f"prefix {use.path!r}" if use.is_prefix
+                    else repr(use.path))
+            yield (use.module_path, use.line,
+                   f"context path {what} is read but never written")
+
+
+@register
+class DeadWriteRule(ProgramRule):
+    rule_id = "CTX002"
+    summary = "context path written but never read"
+    hint = ("no statement in the linted program reads this path back — "
+            "either the reader was renamed or the write is dead; readers "
+            "outside the linted tree need `# repro: allow[CTX002]`")
+
+    def check_program(self, modules) -> Iterator[tuple]:
+        registry = harvest(modules)
+        for use in registry.writes:
+            if use.is_prefix:
+                continue  # a subtree write: reads are checked per-path
+            if _covered(use, registry.reads):
+                continue
+            yield (use.module_path, use.line,
+                   f"context path {use.path!r} is written but never read")
+
+
+@register
+class PathTypoRule(ProgramRule):
+    rule_id = "CTX003"
+    summary = "context path is an edit-distance-1 near miss of a known path"
+    hint = "one side of the contract is typo'd — unify the two spellings"
+
+    def check_program(self, modules) -> Iterator[tuple]:
+        registry = harvest(modules)
+        written = sorted({use.path for use in registry.writes
+                          if not use.is_prefix})
+        for use in registry.reads:
+            if use.is_prefix or _covered(use, registry.writes):
+                continue
+            near = [path for path in written
+                    if _edit_distance_at_most_one(use.path, path)]
+            if near:
+                yield (use.module_path, use.line,
+                       f"context path {use.path!r} is never written, but "
+                       f"{near[0]!r} is — likely a typo")
+
+
+@register
+class RawLiteralRule(ProgramRule):
+    rule_id = "CTX004"
+    summary = "raw path literal bypasses the declared constant"
+    hint = ("import and use the *_PATH constant so renames stay "
+            "one-line changes")
+
+    def check_program(self, modules) -> Iterator[tuple]:
+        registry = harvest(modules)
+        by_value = {value: name for name, (value, _, _)
+                    in sorted(registry.constants.items())}
+        for use in registry.reads + registry.writes:
+            if not use.raw_literal:
+                continue
+            name = by_value.get(use.path)
+            if name is not None:
+                yield (use.module_path, use.line,
+                       f"raw literal {use.path!r} bypasses the declared "
+                       f"constant {name}")

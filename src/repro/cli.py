@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 __all__ = ["main", "build_parser"]
@@ -216,15 +217,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="static determinism lint over python sources "
-             "(DET*/SIM* rules; exits 1 on findings)")
+        help="whole-program static analysis over python sources "
+             "(DET/SIM/RES/CTX/API rules; exits 1 on findings)")
     lint.add_argument("paths", nargs="+", metavar="PATH",
                       help="files or directories to lint")
     lint.add_argument("--rule", action="append", dest="rule_ids",
                       metavar="RULE",
-                      help="restrict to this rule id (repeatable)")
+                      help="restrict to this rule id or family prefix, "
+                           "e.g. RES001 or RES (repeatable)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule table and exit")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="canonical JSON report")
+    lint.add_argument("--sarif", action="store_true",
+                      help="SARIF 2.1.0 report (canonical, byte-stable)")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="suppress findings listed in this baseline file")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      help="write current findings as a baseline and exit 0")
     return parser
 
 
@@ -524,24 +534,30 @@ def cmd_profile(args, out) -> int:
     run_id = args.run_id or f"{args.scenario}-seed{args.seed}"
     if args.spill:
         store = HistoryStore(args.spill)
-        store.begin_run(run_id, args.scenario, args.seed,
-                        lab.env.scheduler_stats()["kind"], replace=True)
-    with profile_run(lab.env, recorder):
-        if args.scenario == "six-steps":
-            _run_six_steps(lab)
-        t = lab.env.now
-        while t < until:
-            t = min(t + _SPILL_PERIOD, until) if store else until
-            lab.env.run(until=t)
-            if store is not None:
-                store.spill_windows(run_id, lab.health.store)
-    report = recorder.report(registry=metrics_registry(lab.net),
-                             top=args.top)
-    if store is not None:
-        store.spill_profile(run_id, report)
-        store.finish_run(run_id, lab.env.now, recorder.events,
-                         meta={"scheduler": lab.env.scheduler_stats()})
-        store.close()
+    try:
+        if store is not None:
+            store.begin_run(run_id, args.scenario, args.seed,
+                            lab.env.scheduler_stats()["kind"], replace=True)
+        with profile_run(lab.env, recorder):
+            if args.scenario == "six-steps":
+                _run_six_steps(lab)
+            t = lab.env.now
+            while t < until:
+                t = min(t + _SPILL_PERIOD, until) if store else until
+                lab.env.run(until=t)
+                if store is not None:
+                    store.spill_windows(run_id, lab.health.store)
+        report = recorder.report(registry=metrics_registry(lab.net),
+                                 top=args.top)
+        if store is not None:
+            store.spill_profile(run_id, report)
+            store.finish_run(run_id, lab.env.now, recorder.events,
+                             meta={"scheduler": lab.env.scheduler_stats()})
+    finally:
+        # A failed run must not leave the WAL connection (and its lock on
+        # the history database) open.
+        if store is not None:
+            store.close()
     if args.as_json:
         out.write(_canonical_json(report))
         return 0
@@ -756,25 +772,59 @@ def cmd_chaos(args, out) -> int:
 
 
 def cmd_lint(args, out) -> int:
-    from .analysis import RULES, all_rules, lint_paths, render_findings
+    from .analysis import (RULES, all_rules, apply_baseline, format_baseline,
+                           lint_paths, load_baseline, render_findings,
+                           render_json, render_sarif)
     if args.list_rules:
         for rule in all_rules():
             out.write(f"{rule.rule_id}  {rule.summary}\n")
         return 0
+    if args.as_json and args.sarif:
+        out.write("error: --json and --sarif are mutually exclusive\n")
+        return 2
     rules = None
     if args.rule_ids:
-        unknown = [r for r in args.rule_ids if r not in RULES]
+        selected = []
+        unknown = []
+        for token in args.rule_ids:
+            if token in RULES:
+                selected.append(RULES[token])
+                continue
+            family = [rule for rule_id, rule in sorted(RULES.items())
+                      if rule_id.startswith(token)]
+            if family and token.isalpha():
+                selected.extend(family)
+            else:
+                unknown.append(token)
         if unknown:
             out.write(f"unknown rule(s): {', '.join(unknown)}; "
                       f"known: {', '.join(sorted(RULES))}\n")
             return 2
-        rules = [RULES[r] for r in args.rule_ids]
+        rules = selected
     try:
         findings = lint_paths(args.paths, rules=rules)
     except FileNotFoundError as exc:
         out.write(f"error: {exc}\n")
         return 2
-    out.write(render_findings(findings) + "\n")
+    if args.baseline:
+        try:
+            text = Path(args.baseline).read_text(encoding="utf-8")
+        except OSError as exc:
+            out.write(f"error: cannot read baseline: {exc}\n")
+            return 2
+        findings = apply_baseline(findings, load_baseline(text))
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(format_baseline(findings),
+                                             encoding="utf-8")
+        out.write(f"wrote {len(findings)} finding(s) to "
+                  f"{args.write_baseline}\n")
+        return 0
+    if args.as_json:
+        out.write(render_json(findings))
+    elif args.sarif:
+        out.write(render_sarif(findings))
+    else:
+        out.write(render_findings(findings) + "\n")
     return 1 if findings else 0
 
 

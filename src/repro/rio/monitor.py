@@ -192,35 +192,41 @@ class ProvisionMonitor:
         span = self.tracer.start_span(
             f"provision:{element.name}", kind="provision", host=self.host.name,
             opstring=opstring.name)
-        candidates = yield from self._eligible_cybernodes(element)
-        while candidates:
-            choice = self.policy.choose(candidates)
-            if choice is None:
-                break
-            instance_name = self._next_instance_name(element)
-            try:
-                service_id = yield self._endpoint.call(
-                    choice.ref, "instantiate", element, instance_name,
-                    opstring.name, kind="rio-instantiate", timeout=10.0,
-                    trace_parent=span.span_id)
-            except (RemoteError, NetworkError):
-                span.annotate("cybernode_failed", node=choice.node_id)
-                candidates = [c for c in candidates if c is not choice]
-                continue
-            self._records[service_id] = ProvisionRecord(
-                service_id=service_id, opstring=opstring.name,
-                element=element.name, instance_name=instance_name,
-                cybernode=choice.ref, provisioned_at=self.env.now)
-            self.stats["provisioned"] += 1
-            self._m_provisioned.inc()
-            self._m_managed.set(len(self._records))
-            span.set_attribute("instance", instance_name)
-            span.end("ok")
-            return True
-        self.stats["provision_failures"] += 1
-        self._m_failures.inc()
-        span.end("failed")
-        return False
+        try:
+            candidates = yield from self._eligible_cybernodes(element)
+            while candidates:
+                choice = self.policy.choose(candidates)
+                if choice is None:
+                    break
+                instance_name = self._next_instance_name(element)
+                try:
+                    service_id = yield self._endpoint.call(
+                        choice.ref, "instantiate", element, instance_name,
+                        opstring.name, kind="rio-instantiate", timeout=10.0,
+                        trace_parent=span.span_id)
+                except (RemoteError, NetworkError):
+                    span.annotate("cybernode_failed", node=choice.node_id)
+                    candidates = [c for c in candidates if c is not choice]
+                    continue
+                self._records[service_id] = ProvisionRecord(
+                    service_id=service_id, opstring=opstring.name,
+                    element=element.name, instance_name=instance_name,
+                    cybernode=choice.ref, provisioned_at=self.env.now)
+                self.stats["provisioned"] += 1
+                self._m_provisioned.inc()
+                self._m_managed.set(len(self._records))
+                span.set_attribute("instance", instance_name)
+                span.end("ok")
+                return True
+            self.stats["provision_failures"] += 1
+            self._m_failures.inc()
+            span.end("failed")
+            return False
+        except BaseException:
+            # An Interrupt (converge loop cancelled) or an unmodelled
+            # failure must not leave the provision span open forever.
+            span.end("error")
+            raise
 
     def _converge_failed(self) -> None:
         self.stats["provision_failures"] += 1

@@ -1,0 +1,20 @@
+"""Deliberately-defective snippets for the lint output golden tests.
+
+Never imported by anything: ``repro lint`` is pointed at this file to
+produce a stable, known set of findings (one RES, two CTX) for the
+``--json`` / ``--sarif`` golden files and the ``--rule`` filter tests.
+"""
+
+
+def leaky_span(tracer, env):
+    span = tracer.start_span("op")
+    yield env.timeout(1.0)
+    span.end("ok")
+
+
+def fill(ctx, value):
+    ctx.put_value("trace/parent", value)
+
+
+def probe(ctx):
+    return ctx.get_value("trace/parrent")

@@ -1,0 +1,249 @@
+"""Per-rule snippet tests for the API0xx RPC conformance family.
+
+Each snippet declares its own export universe (the pass stands down with
+no exports) and calls against it. Union semantics: a call conforms when
+*any* exported interface accepts it.
+"""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def findings_for(code, rule=None):
+    found = lint_source(textwrap.dedent(code))
+    if rule is not None:
+        found = [f for f in found if f.rule == rule]
+    return found
+
+
+def assert_clean(code, rule):
+    assert findings_for(code, rule) == []
+
+
+SERVICE = """
+    class Echo:
+        REMOTE_METHODS = ("ping", "shout")
+
+        def __init__(self, endpoint):
+            self.ref = endpoint.export(self, "echo", methods=self.REMOTE_METHODS)
+
+        def ping(self, payload):
+            return payload
+
+        def shout(self, payload, times=1):
+            return payload * times
+"""
+
+
+# ---------------------------------------------------------------------------
+# API001 — unknown selectors
+
+
+def test_api001_unknown_selector_flagged():
+    found = findings_for(SERVICE + """
+    def client(endpoint, ref):
+        yield endpoint.call(ref, "pong", 1)
+    """, rule="API001")
+    assert [f.line for f in found] == [15]
+    assert "selector 'pong' is not exported" in found[0].message
+
+
+def test_api001_exported_selector_is_clean():
+    assert_clean(SERVICE + """
+    def client(endpoint, ref):
+        yield endpoint.call(ref, "ping", 1)
+    """, rule="API001")
+
+
+def test_api001_union_semantics_across_interfaces():
+    # "status" lives on a different interface than "ping"; both calls
+    # conform because the universe is the union of all exports.
+    assert_clean(SERVICE + """
+    class Node:
+        def __init__(self, endpoint):
+            self.ref = endpoint.export(self, "node", methods=("status",))
+
+        def status(self):
+            return "up"
+
+    def client(endpoint, echo_ref, node_ref):
+        yield endpoint.call(echo_ref, "ping", 1)
+        yield endpoint.call(node_ref, "status")
+    """, rule="API001")
+
+
+def test_api001_stands_down_with_no_exports():
+    # A pure-client snippet has no interface universe to check against.
+    assert_clean("""
+        def client(endpoint, ref):
+            yield endpoint.call(ref, "anything_at_all", 1, 2, 3)
+    """, rule="API001")
+
+
+def test_api001_open_base_disables_the_pass():
+    # An unrestricted export of a class with an unresolvable base could
+    # export inherited methods the pass cannot see: it stands down.
+    assert_clean("""
+        class Echo(RemoteService):
+            def __init__(self, endpoint):
+                self.ref = endpoint.export(self, "echo")
+
+            def ping(self, payload):
+                return payload
+
+        def client(endpoint, ref):
+            yield endpoint.call(ref, "inherited_method")
+    """, rule="API001")
+
+
+def test_api001_infra_kwargs_are_ignored():
+    assert_clean(SERVICE + """
+    def client(endpoint, ref):
+        yield endpoint.call(ref, "ping", 1, kind="echo", timeout=3.0,
+                            trace_parent="abc")
+    """, rule="API001")
+
+
+def test_api001_pragma_suppresses():
+    assert_clean(SERVICE + """
+    def client(endpoint, ref):
+        yield endpoint.call(ref, "pong", 1)  # repro: allow[API001] - exported by a plugin
+    """, rule="API001")
+
+
+# ---------------------------------------------------------------------------
+# API002 — arity mismatches
+
+
+def test_api002_too_few_positional_args():
+    found = findings_for(SERVICE + """
+    def client(endpoint, ref):
+        yield endpoint.call(ref, "ping")
+    """, rule="API002")
+    assert [f.line for f in found] == [15]
+    assert "passes 0 positional arg(s) to 'ping'" in found[0].message
+    assert "take 1" in found[0].message
+
+
+def test_api002_too_many_positional_args():
+    found = findings_for(SERVICE + """
+    def client(endpoint, ref):
+        yield endpoint.call(ref, "shout", 1, 2, 3)
+    """, rule="API002")
+    assert [f.line for f in found] == [15]
+    assert "1..2" in found[0].message
+
+
+def test_api002_defaults_widen_the_accepted_range():
+    assert_clean(SERVICE + """
+    def client(endpoint, ref):
+        yield endpoint.call(ref, "shout", "hey")
+        yield endpoint.call(ref, "shout", "hey", 3)
+        yield endpoint.call(ref, "shout", "hey", times=3)
+    """, rule="API002")
+
+
+def test_api002_unknown_kwarg_is_a_mismatch():
+    found = findings_for(SERVICE + """
+    def client(endpoint, ref):
+        yield endpoint.call(ref, "ping", 1, volume=11)
+    """, rule="API002")
+    assert [f.line for f in found] == [15]
+
+
+def test_api002_unknown_selector_is_not_its_department():
+    # API001 reports unknown selectors; API002 must not double-report.
+    found = findings_for(SERVICE + """
+    def client(endpoint, ref):
+        yield endpoint.call(ref, "pong", 1, 2, 3, 4)
+    """, rule="API002")
+    assert found == []
+
+
+def test_api002_pragma_suppresses():
+    assert_clean(SERVICE + """
+    def client(endpoint, ref):
+        yield endpoint.call(ref, "ping")  # repro: allow[API002] - server patches the signature
+    """, rule="API002")
+
+
+# ---------------------------------------------------------------------------
+# API003 — phantom exports
+
+
+def test_api003_phantom_method_in_export_tuple():
+    found = findings_for("""
+        class Echo:
+            def __init__(self, endpoint):
+                self.ref = endpoint.export(self, "echo",
+                                           methods=("ping", "vanish"))
+
+            def ping(self, payload):
+                return payload
+    """, rule="API003")
+    assert [f.line for f in found] == [4]
+    assert "names 'vanish' but class Echo does not define it" \
+        in found[0].message
+
+
+def test_api003_inherited_method_is_not_phantom():
+    assert_clean("""
+        class Base:
+            def ping(self, payload):
+                return payload
+
+        class Echo(Base):
+            def __init__(self, endpoint):
+                self.ref = endpoint.export(self, "echo", methods=("ping",))
+    """, rule="API003")
+
+
+def test_api003_class_attr_selector_table_resolves():
+    found = findings_for("""
+        class Echo:
+            REMOTE_METHODS = ("ping", "vanish")
+
+            def __init__(self, endpoint):
+                self.ref = endpoint.export(self, "echo",
+                                           methods=self.REMOTE_METHODS)
+
+            def ping(self, payload):
+                return payload
+    """, rule="API003")
+    assert [f.line for f in found] == [6]
+
+
+def test_api003_open_base_stands_down():
+    assert_clean("""
+        class Echo(RemoteService):
+            def __init__(self, endpoint):
+                self.ref = endpoint.export(self, "echo",
+                                           methods=("inherited_method",))
+    """, rule="API003")
+
+
+def test_api003_inline_constructor_export_resolves():
+    found = findings_for("""
+        class Slot:
+            def notify(self, event):
+                return event
+
+        def attach(endpoint):
+            return endpoint.export(Slot(), "slot", methods=("nudge",))
+    """, rule="API003")
+    assert [f.line for f in found] == [7]
+
+
+def test_api003_pragma_suppresses():
+    # The pragma goes on the line the finding is reported at: the export
+    # call's first line.
+    assert_clean("""
+        class Echo:
+            def __init__(self, endpoint):
+                self.ref = endpoint.export(  # repro: allow[API003] - mixed in at runtime
+                    self, "echo", methods=("ping", "vanish"))
+
+            def ping(self, payload):
+                return payload
+    """, rule="API003")

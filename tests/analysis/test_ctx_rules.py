@@ -1,0 +1,221 @@
+"""Per-rule snippet tests for the CTX0xx ServiceContext path contracts.
+
+The CTX rules are whole-program passes; ``lint_source`` runs them over a
+one-module program, so each snippet is its own closed world of readers
+and writers.
+"""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def findings_for(code, rule=None):
+    found = lint_source(textwrap.dedent(code))
+    if rule is not None:
+        found = [f for f in found if f.rule == rule]
+    return found
+
+
+def assert_clean(code, rule):
+    assert findings_for(code, rule) == []
+
+
+# ---------------------------------------------------------------------------
+# CTX001 — orphan reads
+
+
+def test_ctx001_read_with_no_writer():
+    found = findings_for("""
+        def probe(ctx):
+            return ctx.get_value("health/score")
+    """, rule="CTX001")
+    assert [f.line for f in found] == [3]
+    assert "read but never written" in found[0].message
+    assert "'health/score'" in found[0].message
+
+
+def test_ctx001_matched_pair_is_clean():
+    assert_clean("""
+        def fill(ctx, value):
+            ctx.put_value("health/score", value)
+
+        def probe(ctx):
+            return ctx.get_value("health/score")
+    """, rule="CTX001")
+
+
+def test_ctx001_prefix_write_covers_exact_read():
+    # f"arg/{key}" writes the whole arg/ subtree; reading "arg/name" is
+    # covered.
+    assert_clean("""
+        def fill(ctx, key, value):
+            ctx.put_value(f"arg/{key}", value)
+
+        def probe(ctx):
+            return ctx.get_value("arg/name")
+    """, rule="CTX001")
+
+
+def test_ctx001_has_path_counts_as_a_read():
+    found = findings_for("""
+        def probe(ctx):
+            return ctx.has_path("overload/rejection")
+    """, rule="CTX001")
+    assert [f.line for f in found] == [3]
+
+
+def test_ctx001_slashless_literal_is_not_a_path():
+    assert_clean("""
+        def probe(ctx):
+            return ctx.get_value("name")
+    """, rule="CTX001")
+
+
+def test_ctx001_pragma_suppresses():
+    assert_clean("""
+        def probe(ctx):
+            return ctx.get_value("health/score")  # repro: allow[CTX001] - host writes
+    """, rule="CTX001")
+
+
+# ---------------------------------------------------------------------------
+# CTX002 — dead writes
+
+
+def test_ctx002_write_with_no_reader():
+    found = findings_for("""
+        def fill(ctx, value):
+            ctx.put_value("health/score", value)
+    """, rule="CTX002")
+    assert [f.line for f in found] == [3]
+    assert "written but never read" in found[0].message
+
+
+def test_ctx002_underscore_data_store_and_load_pair_up():
+    assert_clean("""
+        def fill(ctx, value):
+            ctx._data["trace/parent"] = value
+
+        def probe(ctx):
+            return ctx._data.get("trace/parent")
+    """, rule="CTX002")
+
+
+def test_ctx002_prefix_write_is_never_dead():
+    # A subtree write can't be checked per-path; the pass skips it rather
+    # than guess.
+    assert_clean("""
+        def fill(ctx, key, value):
+            ctx.put_value(f"arg/{key}", value)
+    """, rule="CTX002")
+
+
+def test_ctx002_pragma_suppresses():
+    assert_clean("""
+        def fill(ctx, value):
+            ctx.put_value("health/score", value)  # repro: allow[CTX002] - dashboard reads
+    """, rule="CTX002")
+
+
+# ---------------------------------------------------------------------------
+# CTX003 — edit-distance-1 typos
+
+
+def test_ctx003_near_miss_read_flagged_as_typo():
+    found = findings_for("""
+        def fill(ctx, value):
+            ctx.put_value("trace/parent", value)
+
+        def probe(ctx):
+            return ctx.get_value("trace/parrent")
+    """, rule="CTX003")
+    assert [f.line for f in found] == [6]
+    assert "'trace/parrent'" in found[0].message
+    assert "'trace/parent'" in found[0].message
+    assert "likely a typo" in found[0].message
+
+
+def test_ctx003_takes_precedence_over_ctx001():
+    # The orphan-read rule defers distance-1 cases to the typo rule so the
+    # same line is not reported twice.
+    found = findings_for("""
+        def fill(ctx, value):
+            ctx.put_value("trace/parent", value)
+
+        def probe(ctx):
+            return ctx.get_value("trace/parrent")
+    """, rule="CTX001")
+    assert found == []
+
+
+def test_ctx003_distance_two_is_not_a_typo():
+    assert_clean("""
+        def fill(ctx, value):
+            ctx.put_value("trace/parent", value)
+
+        def probe(ctx):
+            return ctx.get_value("trace/pairrent")
+    """, rule="CTX003")
+
+
+def test_ctx003_pragma_suppresses():
+    assert_clean("""
+        def fill(ctx, value):
+            ctx.put_value("trace/parent", value)
+
+        def probe(ctx):
+            return ctx.get_value("trace/parrent")  # repro: allow[CTX003] - legacy alias
+    """, rule="CTX003")
+
+
+# ---------------------------------------------------------------------------
+# CTX004 — raw literals bypassing a declared constant
+
+
+def test_ctx004_raw_literal_with_declared_constant():
+    found = findings_for("""
+        SCORE_PATH = "health/score"
+
+        def fill(ctx, value):
+            ctx.put_value(SCORE_PATH, value)
+
+        def probe(ctx):
+            return ctx.get_value("health/score")
+    """, rule="CTX004")
+    assert [f.line for f in found] == [8]
+    assert "bypasses the declared constant SCORE_PATH" in found[0].message
+
+
+def test_ctx004_constant_use_is_clean():
+    assert_clean("""
+        SCORE_PATH = "health/score"
+
+        def fill(ctx, value):
+            ctx.put_value(SCORE_PATH, value)
+
+        def probe(ctx):
+            return ctx.get_value(SCORE_PATH)
+    """, rule="CTX004")
+
+
+def test_ctx004_literal_without_constant_is_clean():
+    assert_clean("""
+        def fill(ctx, value):
+            ctx.put_value("health/score", value)
+
+        def probe(ctx):
+            return ctx.get_value("health/score")
+    """, rule="CTX004")
+
+
+def test_ctx004_pragma_suppresses():
+    assert_clean("""
+        SCORE_PATH = "health/score"
+
+        def fill(ctx, value):
+            ctx.put_value(SCORE_PATH, value)
+
+        def probe(ctx):
+            return ctx.get_value("health/score")  # repro: allow[CTX004] - doc example
+    """, rule="CTX004")

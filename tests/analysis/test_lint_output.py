@@ -1,0 +1,175 @@
+"""`repro lint` output contract: --json / --sarif goldens, --rule family
+filters, and the baseline workflow.
+
+The goldens are byte-exact: machine output feeds CI artifact uploads and
+diff-based tooling, so a formatting change must show up as a test diff.
+Regenerate with::
+
+    cd tests/analysis/fixtures
+    PYTHONPATH=../../../src python -m repro lint --json  seeded_bad.py \
+        > ../../golden/lint_seeded.json
+    PYTHONPATH=../../../src python -m repro lint --sarif seeded_bad.py \
+        > ../../golden/lint_seeded.sarif
+"""
+
+import io
+import json
+import pathlib
+
+from repro.cli import main
+
+HERE = pathlib.Path(__file__).parent
+FIXTURES = HERE / "fixtures"
+GOLDEN = HERE.parent / "golden"
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def lint_seeded(monkeypatch, *flags):
+    # The fixture is linted by relative path so the machine output (which
+    # embeds the path) is location-independent and can be golden-tested.
+    monkeypatch.chdir(FIXTURES)
+    return run_cli("lint", *flags, "seeded_bad.py")
+
+
+# ---------------------------------------------------------------------------
+# Golden machine output
+
+
+def test_json_output_matches_golden(monkeypatch):
+    code, output = lint_seeded(monkeypatch, "--json")
+    assert code == 1
+    assert output == (GOLDEN / "lint_seeded.json").read_text()
+
+
+def test_sarif_output_matches_golden(monkeypatch):
+    code, output = lint_seeded(monkeypatch, "--sarif")
+    assert code == 1
+    assert output == (GOLDEN / "lint_seeded.sarif").read_text()
+
+
+def test_machine_output_is_byte_stable(monkeypatch):
+    assert lint_seeded(monkeypatch, "--json") \
+        == lint_seeded(monkeypatch, "--json")
+    assert lint_seeded(monkeypatch, "--sarif") \
+        == lint_seeded(monkeypatch, "--sarif")
+
+
+def test_json_payload_shape(monkeypatch):
+    _, output = lint_seeded(monkeypatch, "--json")
+    payload = json.loads(output)
+    assert payload["summary"]["total"] == 3
+    assert payload["summary"]["by_rule"] == {
+        "CTX002": 1, "CTX003": 1, "RES001": 1}
+    assert [f["rule"] for f in payload["findings"]] \
+        == ["RES001", "CTX002", "CTX003"]
+
+
+def test_sarif_declares_every_registered_rule(monkeypatch):
+    from repro.analysis import RULES
+    _, output = lint_seeded(monkeypatch, "--sarif")
+    payload = json.loads(output)
+    run = payload["runs"][0]
+    declared = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert declared == sorted(RULES)
+    rule_ids = {result["ruleId"] for result in run["results"]}
+    assert rule_ids == {"RES001", "CTX002", "CTX003"}
+
+
+def test_json_and_sarif_are_mutually_exclusive(monkeypatch):
+    code, output = lint_seeded(monkeypatch, "--json", "--sarif")
+    assert code == 2
+    assert "mutually exclusive" in output
+
+
+# ---------------------------------------------------------------------------
+# --rule: exact ids and family prefixes
+
+
+def test_rule_family_prefix_selects_the_family(monkeypatch):
+    code, output = lint_seeded(monkeypatch, "--rule", "RES")
+    assert code == 1
+    assert "RES001" in output
+    assert "CTX" not in output
+
+
+def test_rule_families_combine(monkeypatch):
+    code, output = lint_seeded(monkeypatch, "--rule", "RES", "--rule", "CTX")
+    assert code == 1
+    assert "RES001" in output and "CTX002" in output and "CTX003" in output
+
+
+def test_rule_exact_id_still_works(monkeypatch):
+    code, output = lint_seeded(monkeypatch, "--rule", "CTX003")
+    assert code == 1
+    assert "CTX003" in output and "CTX002" not in output
+
+
+def test_rule_unknown_family_is_an_error(monkeypatch):
+    code, output = lint_seeded(monkeypatch, "--rule", "NOPE")
+    assert code == 2
+    assert "unknown rule(s): NOPE" in output
+
+
+def test_list_rules_names_all_families():
+    code, output = run_cli("lint", "--list-rules", str(FIXTURES))
+    assert code == 0
+    for family in ("DET001", "SIM001", "RES001", "CTX001", "API001"):
+        assert family in output
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+
+
+def test_write_baseline_then_lint_against_it(monkeypatch, tmp_path):
+    baseline = tmp_path / "baseline.txt"
+    monkeypatch.chdir(FIXTURES)
+    code, output = run_cli("lint", "--write-baseline", str(baseline),
+                           "seeded_bad.py")
+    assert code == 0
+    assert "wrote 3 finding(s)" in output
+    code, output = run_cli("lint", "--baseline", str(baseline),
+                           "seeded_bad.py")
+    assert code == 0
+    assert "repro lint: clean" in output
+
+
+def test_baseline_is_line_number_insensitive(monkeypatch, tmp_path):
+    # Triples carry no line numbers, so unrelated edits above a baselined
+    # finding don't resurrect it. A shifted copy of the fixture stays
+    # clean under the original baseline. (Scoped to the CTX family: the
+    # RES leak messages embed the leaking line, which is the point — a
+    # moved leak is a different finding worth re-reviewing.)
+    baseline = tmp_path / "baseline.txt"
+    monkeypatch.chdir(FIXTURES)
+    code, _ = run_cli("lint", "--rule", "CTX", "--write-baseline",
+                      str(baseline), "seeded_bad.py")
+    assert code == 0
+    shifted = tmp_path / "seeded_bad.py"
+    shifted.write_text("# an unrelated leading comment\n"
+                       + (FIXTURES / "seeded_bad.py").read_text())
+    monkeypatch.chdir(tmp_path)
+    code, output = run_cli("lint", "--rule", "CTX", "--baseline",
+                           str(baseline), "seeded_bad.py")
+    assert code == 0, output
+
+
+def test_unreadable_baseline_is_an_error(monkeypatch, tmp_path):
+    code, output = lint_seeded(
+        monkeypatch, "--baseline", str(tmp_path / "missing.txt"))
+    assert code == 2
+    assert "cannot read baseline" in output
+
+
+def test_committed_repo_baseline_is_empty():
+    # The repo's own baseline must stay empty: new findings get fixed, not
+    # baselined (the file exists to make the workflow available, and so
+    # CI can point at it unconditionally).
+    from repro.analysis import load_baseline
+    repo_baseline = HERE.parent.parent / "lint-baseline.txt"
+    assert load_baseline(repo_baseline.read_text()) == set()

@@ -74,3 +74,71 @@ def test_wall_clock_pragmas_carry_a_justification():
                     if FILE_PRAGMA.search(l))
         assert re.search(r"\]\s*-\s*\S", line), (
             f"{rel}: file-wide pragma needs a trailing '- why' justification")
+
+
+# ---------------------------------------------------------------------------
+# Line-level pragmas for the whole-program families (RES / CTX / API)
+#
+# These rules encode cross-module contracts (a leak, a typo'd path, a
+# phantom export), so a suppression is a reviewed claim that the analyzer
+# is wrong or the contract is external. The audit holds them to a higher
+# bar than the local DET/SIM rules: every pragma must name a registered
+# rule and every RES/CTX/API pragma must say *why* inline.
+
+LINE_PRAGMA = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]*)\]")
+PROGRAM_FAMILIES = ("RES", "CTX", "API")
+
+
+def _line_pragmas():
+    for path in _python_sources():
+        rel = path.relative_to(REPO).as_posix()
+        if rel.startswith(("tests/", "src/repro/analysis/")):
+            continue  # suites and rule hints quote pragma syntax
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if "allow-file[" in line:
+                continue
+            match = LINE_PRAGMA.search(line)
+            if match:
+                rules = {token.strip()
+                         for token in match.group(1).split(",")
+                         if token.strip()}
+                yield rel, lineno, line, rules
+
+
+def test_line_pragmas_name_registered_rules():
+    """A typo'd rule id (`allow[RES01]`) suppresses nothing — it must not
+    sit in the tree looking like a waiver."""
+    from repro.analysis import RULES
+    offenders = [(rel, lineno, sorted(rules - set(RULES)))
+                 for rel, lineno, line, rules in _line_pragmas()
+                 if rules - set(RULES)]
+    assert not offenders, f"pragmas naming unknown rules: {offenders}"
+
+
+def test_program_family_pragmas_carry_a_justification():
+    offenders = [(rel, lineno)
+                 for rel, lineno, line, rules in _line_pragmas()
+                 if any(rule.startswith(PROGRAM_FAMILIES) for rule in rules)
+                 and not re.search(r"\]\s*-\s*\S", line)]
+    assert not offenders, (
+        "RES/CTX/API suppressions need a trailing '- why' justification: "
+        f"{offenders}")
+
+
+def test_program_families_are_never_file_wide_suppressed():
+    """One line may waive one finding; a file-wide waiver of a lifecycle
+    or contract rule would hide every *future* leak in the file too."""
+    for rel, rules in ALLOWED.items():
+        assert rules == {"DET001"}, (
+            f"{rel}: the reviewed file-wide allowlist is DET001-only")
+    offenders = {}
+    for path in _python_sources():
+        rel = path.relative_to(REPO).as_posix()
+        if rel.startswith(("tests/analysis/", "src/repro/analysis/")):
+            continue
+        waived = {rule for rule in _file_pragmas(path)
+                  if rule.startswith(PROGRAM_FAMILIES)}
+        if waived:
+            offenders[rel] = sorted(waived)
+    assert not offenders, (
+        f"file-wide RES/CTX/API suppressions are never allowed: {offenders}")

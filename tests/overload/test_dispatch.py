@@ -54,9 +54,12 @@ def test_backlogged_tenants_drain_proportionally(weights, window):
     total_weight = sum(weights.values())
     for tenant, weight in weights.items():
         expected = window * weight / total_weight
-        # SFQ's service-lag bound is O(1) items per tenant; allow ties
-        # and edge rounding on top.
-        assert abs(served[tenant] - expected) <= 3.0, (
+        # SFQ's service-lag bound is O(1) items per *competing* tenant:
+        # each discretizes its fluid share independently, so one tenant
+        # can run up to ~(n-1) items ahead of proportional. A fixed
+        # absolute bound fails at 5 tenants under heavy weight skew
+        # (e.g. weights 1/1/10/0.25/0.125, window 94 deviates by 3.04).
+        assert abs(served[tenant] - expected) <= len(weights) + 1.0, (
             f"{tenant} (w={weight}) served {served[tenant]}, "
             f"expected ~{expected:.1f} of {window}")
 

@@ -303,6 +303,33 @@ def test_profile_json_is_canonical_and_attributed(tmp_path):
     assert report["scheduler"]["kind"] == "calendar"
 
 
+def test_profile_closes_store_when_the_run_fails(tmp_path, monkeypatch):
+    # Regression: a scenario that raised mid-profile used to leave the
+    # HistoryStore's WAL connection (and its lock on the history
+    # database) open — found by the RES004 lifecycle lint. The handle
+    # must be closed on the error path too.
+    import repro.cli as cli_mod
+    import repro.observability as obs
+
+    created = []
+
+    class RecordingStore(obs.HistoryStore):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            created.append(self)
+
+    def explode(lab):
+        raise RuntimeError("scenario exploded")
+
+    monkeypatch.setattr(obs, "HistoryStore", RecordingStore)
+    monkeypatch.setattr(cli_mod, "_run_six_steps", explode)
+    with pytest.raises(RuntimeError, match="scenario exploded"):
+        run_cli("profile", "six-steps", "--until", "5",
+                "--spill", str(tmp_path / "hist.db"))
+    assert len(created) == 1
+    assert created[0]._conn is None
+
+
 def test_history_series_matches_golden(tmp_path):
     db, _ = _spill_six_steps(tmp_path)
     code, output = run_cli(
