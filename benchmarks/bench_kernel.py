@@ -219,7 +219,9 @@ def render(results: dict) -> str:
 
 
 def write_output(results: dict) -> None:
-    OUTPUT.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    from repro.util.atomicio import atomic_write_text
+    atomic_write_text(OUTPUT, json.dumps(results, indent=2, sort_keys=True)
+                      + "\n")
 
 
 def test_kernel_throughput(report):

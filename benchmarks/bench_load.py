@@ -24,6 +24,7 @@ import os
 
 from repro.load import SWEEP_FULL, SWEEP_SMOKE, saturation_curve
 from repro.metrics import render_table
+from repro.util.atomicio import atomic_write_text
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 SWEEP = SWEEP_SMOKE if SMOKE else SWEEP_FULL
@@ -46,7 +47,7 @@ def test_load_graceful_saturation(benchmark, report, results_dir):
     points = curve["points"]
 
     blob = _canonical(curve)
-    (results_dir / "e_load_curve.json").write_text(blob)
+    atomic_write_text(results_dir / "e_load_curve.json", blob)
 
     rows = []
     for point in points:

@@ -1,0 +1,186 @@
+"""E-SNAP — snapshot round-trip cost and warm-restore shrink speedup.
+
+Two claims from DESIGN.md §14, measured:
+
+* **round trip is cheap and exact** — capturing the full federation at a
+  checkpoint, writing the envelope, reading it back and replay-verifying
+  the digest costs a small fraction of simply re-running the scenario,
+  and the restored continuation's ``status --json`` is byte-identical to
+  the uninterrupted run;
+* **warm probes pay off** — ddmin over a 50-event late-fault plan (one
+  culprit partition hidden behind 49 harmless slowdowns, all past t=100
+  of a 120s horizon) runs >= 2x faster with fork-based warm-restore
+  probes than with cold full re-runs, because every probe skips the
+  settled 100s prefix; the warm minimum is cold-validated and must equal
+  the cold minimum exactly.
+
+``REPRO_BENCH_SMOKE=1`` runs the same plan with the speedup gate relaxed
+to 1.3x (CI runners share cores; the equality gates stay exact).
+"""
+
+# repro: allow-file[DET001] - benchmarks time real work on the wall clock
+
+import json
+import os
+import time
+
+from repro.chaos import CampaignConfig, CampaignRunner, ChaosPlan, FaultEvent
+from repro.chaos.shrink import _matches_failure, shrink_plan
+from repro.metrics import render_table
+from repro.snapshot.format import read_snapshot
+from repro.snapshot.programs import run_program, status_spec
+from repro.snapshot.restore import restore_run
+from repro.util.atomicio import atomic_write_text
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+#: Warm ddmin must beat cold by this factor on the late-fault plan.
+MIN_SPEEDUP = 1.3 if SMOKE else 2.0
+
+HORIZON = 120.0
+#: All 50 events land in [100, 116): the settled prefix dominates the
+#: run, which is exactly when warm-restore probes should pay off.
+FAULT_WINDOW_START = 100.0
+PLAN_EVENTS = 50
+SHRINK_BUDGET = 60
+FILLER_HOSTS = ("neem-host", "jade-host", "coral-host", "diamond-host")
+
+
+def late_fault_plan() -> ChaosPlan:
+    """One convergence-breaking partition plus 49 harmless 1s slowdowns.
+
+    The culprit leads the event list, which is the adversarial ordering
+    for ddmin (every complement that drops the head passes), so both
+    probe modes do the full ~11-run reduction rather than getting lucky.
+    """
+    # Ends at t=116 with only 4s of horizon left: health cannot converge.
+    events = [FaultEvent("partition", "composite-host|facade-host",
+                         FAULT_WINDOW_START, 16.0)]
+    events += [
+        FaultEvent("slowdown", FILLER_HOSTS[i % len(FILLER_HOSTS)],
+                   round(FAULT_WINDOW_START + 1.0 + i * 0.3, 3), 1.0,
+                   {"delay": 0.05})
+        for i in range(PLAN_EVENTS - 1)]
+    return ChaosPlan(seed=0, scenario="paper-lab", horizon=HORIZON,
+                     events=events)
+
+
+def _runner() -> CampaignRunner:
+    return CampaignRunner("paper-lab",
+                          config=CampaignConfig(horizon=HORIZON))
+
+
+def _round_trip(tmp: str) -> dict:
+    spec = status_spec(seed=2009, until=30.0)
+    path = os.path.join(tmp, "e_snap.snap")
+
+    run_program(spec)  # warm import/scenario caches off the clock
+
+    t0 = time.perf_counter()
+    run_program(spec)
+    plain_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    baseline, _ = run_program(spec, checkpoint_at=[12.0], sink=path)
+    run_and_capture_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    body = read_snapshot(path)
+    restore_run(path, continue_run=False)  # replay-verify the digest
+    verify_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    restored, _ = restore_run(path)
+    restore_s = time.perf_counter() - t0
+
+    assert restored["status"] == baseline["status"]
+    assert restored["trace"] == baseline["trace"]
+    return {
+        "bytes": os.path.getsize(path),
+        "sections": len(body["state"]),
+        "plain_run_s": round(plain_s, 3),
+        "run_and_capture_s": round(run_and_capture_s, 3),
+        "verify_s": round(verify_s, 3),
+        "restore_s": round(restore_s, 3),
+    }
+
+
+def _shrink_both_ways() -> dict:
+    plan = late_fault_plan()
+    failed = {"health-convergence"}
+    verdict = _runner().run_plan(plan)
+    assert not verdict["ok"], "the late-fault plan must fail unshrunk"
+
+    cold_runner = _runner()
+
+    def cold_fails(candidate: ChaosPlan) -> bool:
+        return _matches_failure(cold_runner.run_plan(candidate), failed)
+
+    t0 = time.perf_counter()
+    cold = shrink_plan(plan, cold_fails, max_runs=SHRINK_BUDGET)
+    cold_s = time.perf_counter() - t0
+
+    warm_runner = _runner()
+    t0 = time.perf_counter()
+    session = warm_runner.warm_session(plan)
+
+    def warm_fails(candidate: ChaosPlan) -> bool:
+        return _matches_failure(session.run_plan(candidate), failed)
+
+    warm = shrink_plan(plan, warm_fails, max_runs=SHRINK_BUDGET)
+    validated = _matches_failure(_runner().run_plan(warm.plan), failed)
+    warm_s = time.perf_counter() - t0
+
+    return {
+        "cold_s": round(cold_s, 3), "cold_runs": cold.runs,
+        "warm_s": round(warm_s, 3), "warm_runs": warm.runs,
+        "speedup": round(cold_s / warm_s, 2),
+        "validated": validated,
+        "cold_plan": cold.plan.to_json(),
+        "warm_plan": warm.plan.to_json(),
+        "minimal_events": len(cold.plan.events),
+    }
+
+
+def test_snapshot_round_trip_and_warm_shrink(benchmark, report, results_dir,
+                                             tmp_path):
+    def body():
+        return {"round_trip": _round_trip(str(tmp_path)),
+                "shrink": _shrink_both_ways()}
+
+    results = benchmark.pedantic(body, rounds=1, iterations=1)
+    trip, shrink = results["round_trip"], results["shrink"]
+
+    blob = json.dumps(results, sort_keys=True, separators=(",", ":")) + "\n"
+    atomic_write_text(results_dir / "e_snap.json", blob)
+
+    report(render_table(
+        ["quantity", "value"],
+        [["snapshot bytes", trip["bytes"]],
+         ["state sections", trip["sections"]],
+         ["plain run (s)", trip["plain_run_s"]],
+         ["run + capture (s)", trip["run_and_capture_s"]],
+         ["verify-only restore (s)", trip["verify_s"]],
+         ["restore + continue (s)", trip["restore_s"]],
+         ["cold ddmin (s)", f"{shrink['cold_s']} ({shrink['cold_runs']} runs)"],
+         ["warm ddmin (s)", f"{shrink['warm_s']} ({shrink['warm_runs']} runs)"],
+         ["warm speedup", f"{shrink['speedup']}x (gate {MIN_SPEEDUP}x)"],
+         ["minimal plan events",
+          f"{shrink['minimal_events']} (from {PLAN_EVENTS})"]],
+        title="E-SNAP — snapshot round trip + warm-restore shrink "
+              f"({PLAN_EVENTS}-event plan, {HORIZON:g}s horizon)"))
+
+    # Round trip is exact (asserted inside) and not absurdly expensive:
+    # capturing mid-run costs less than one extra uninterrupted run.
+    overhead = trip["run_and_capture_s"] - trip["plain_run_s"]
+    assert overhead < trip["plain_run_s"], (
+        f"capture overhead {overhead:.3f}s exceeds a full run")
+    assert trip["bytes"] > 1024, "snapshot is implausibly small"
+
+    # Warm probes found the same one-event minimum, cold-validated...
+    assert shrink["validated"], "warm minimum failed cold validation"
+    assert shrink["warm_plan"] == shrink["cold_plan"]
+    assert shrink["minimal_events"] == 1
+    # ...at a real speedup: every probe skipped the settled prefix.
+    assert shrink["speedup"] >= MIN_SPEEDUP, (
+        f"warm ddmin only {shrink['speedup']}x faster "
+        f"(needed {MIN_SPEEDUP}x)")

@@ -11,6 +11,8 @@ import pathlib
 
 import pytest
 
+from repro.util.atomicio import atomic_write_text
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
@@ -27,6 +29,6 @@ def report(results_dir, request):
     def _report(table: str) -> None:
         print("\n" + table)
         path = results_dir / f"{request.node.name}.txt"
-        path.write_text(table + "\n")
+        atomic_write_text(path, table + "\n")
 
     return _report

@@ -62,6 +62,7 @@ _SUBPACKAGES = frozenset({
     "scenarios",
     "sensors",
     "sim",
+    "snapshot",
     "sorcer",
 })
 

@@ -21,6 +21,10 @@ RES005   an armed timer callback (``timer.callbacks.append``) that the
          function also disarms (``timer.callbacks.clear``) must be
          disarmed on the exceptional edges too — an Interrupt between arm
          and disarm leaves a stale callback that fires into freed state
+RES006   an ``AtomicFile`` handle must be ``close()``-d or ``abort()``-ed
+         on all paths, Interrupt edges included (or held in a ``with``
+         block) — an interrupted writer strands the temp file and never
+         publishes (or never cleans up) the artifact
 =======  ==================================================================
 
 A bound resource that *escapes* the function (returned, yielded, passed as
@@ -494,3 +498,68 @@ class TimerArmRule(_LifecycleRule):
             if leaks:
                 yield arm_call.lineno, _leak_message(
                     f"timer callback armed on {owner}", leaks[0])
+
+
+# ---------------------------------------------------------------------------
+# RES006 — AtomicFile handles
+
+
+def _is_atomic_open(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "AtomicFile"
+    return isinstance(func, ast.Attribute) and func.attr == "AtomicFile"
+
+
+@register
+class AtomicFileRule(_LifecycleRule):
+    rule_id = "RES006"
+    summary = "AtomicFile handle not closed/aborted on every path"
+    hint = ("use `with AtomicFile(...) as fh:` or close()/abort() in a "
+            "try/finally — an interrupted writer strands the temp file "
+            "and the artifact is never published (nor cleaned up)")
+
+    def check_function(self, module, func):
+        # `with AtomicFile(...)` commits/aborts via __exit__: skip any
+        # acquire that appears as a with-item context expression.
+        with_calls = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    for call in _calls_in(item.context_expr):
+                        with_calls.add(call)
+
+        def match(call: ast.Call) -> bool:
+            return _is_atomic_open(call) and call not in with_calls
+
+        cfg = build_cfg(func)
+        for node in cfg.statement_nodes():
+            name, call = _binding_of(node.stmt, match)
+            if call is None:
+                continue
+            if name is None:
+                yield call.lineno, ("AtomicFile opened and immediately "
+                                    "dropped — its content can never be "
+                                    "published")
+                continue
+            if name == "<untracked>":
+                continue  # bound into a structure: assume handed off
+            if _name_escapes(func, name, node.stmt):
+                continue
+
+            def is_release(stmt: ast.stmt, name=name) -> bool:
+                # Either outcome of the protocol — publish or discard —
+                # releases the handle (and the temp file behind it).
+                for rel in _calls_in(stmt):
+                    attr, recv = _attr_call(rel)
+                    if attr in ("abort", "close") \
+                            and isinstance(recv, ast.Name) \
+                            and recv.id == name:
+                        return True
+                return False
+
+            leaks = leaks_for(cfg, node, is_release,
+                              _rebind_of_name(name, node.stmt))
+            if leaks:
+                yield call.lineno, _leak_message(
+                    f"atomic-file handle {name!r}", leaks[0])

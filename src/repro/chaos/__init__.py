@@ -14,6 +14,7 @@ from .campaign import (
     CampaignConfig,
     CampaignRunner,
     ScenarioContext,
+    WarmSession,
     campaign_json,
     mttr_from_transitions,
     verdict_json,
@@ -33,7 +34,7 @@ from .shrink import ShrinkResult, shrink_failing_seed, shrink_plan
 
 __all__ = [
     "CampaignConfig", "CampaignRunner", "ScenarioContext", "SCENARIOS",
-    "campaign_json", "verdict_json", "mttr_from_transitions",
+    "WarmSession", "campaign_json", "verdict_json", "mttr_from_transitions",
     "InjectorEngine", "ChaosLink",
     "Invariant", "InvariantResult", "OverloadGraceful", "RunRecord",
     "builtin_invariants", "evaluate_invariants",

@@ -27,6 +27,11 @@ class ShrinkResult:
     runs: int                 # predicate evaluations spent
     removed_events: int       # events dropped from the original
     exhausted: bool           # True if the run budget cut shrinking short
+    #: How the probes ran: "cold" (full re-run each), "warm" (forked from
+    #: a shared settled prefix, minimum cold-validated) or
+    #: "warm-fallback" (warm minimum failed cold validation; the result
+    #: is from a cold re-shrink).
+    mode: str = "cold"
 
 
 class _Budget:
@@ -127,14 +132,28 @@ def shrink_plan(plan: ChaosPlan, predicate: Callable,
                         exhausted=budget.exhausted)
 
 
-def shrink_failing_seed(runner, seed: int, max_runs: int = 60
-                        ) -> tuple:
+def _matches_failure(trial: dict, failed_names: set) -> bool:
+    return any(not result["ok"] and result["name"] in failed_names
+               for result in trial["invariants"])
+
+
+def shrink_failing_seed(runner, seed: int, max_runs: int = 60,
+                        warm: bool = False) -> tuple:
     """Run ``seed`` under ``runner``; if it fails, shrink its plan.
 
     Returns ``(ShrinkResult | None, original_verdict)`` — ``None`` when
     the seed passes and there is nothing to shrink. The shrink predicate
     demands the *same* invariant(s) keep failing, so the minimal plan
     reproduces the original violation class, not just any failure.
+
+    ``warm=True`` answers each probe by forking from one shared settled
+    prefix (:meth:`~repro.chaos.campaign.CampaignRunner.warm_session`)
+    instead of rebuilding the federation per probe. Warm probes can
+    interleave slightly differently from cold runs (fault processes are
+    created at the fork point), so the warm minimum is re-validated with
+    a cold run; if it does not reproduce, shrinking silently falls back
+    to cold probes. On platforms without ``os.fork`` warm mode is a
+    no-op.
     """
     verdict = runner.run_seed(seed)
     if verdict["ok"]:
@@ -143,9 +162,24 @@ def shrink_failing_seed(runner, seed: int, max_runs: int = 60
                     if not result["ok"]}
     plan = ChaosPlan.from_dict(verdict["plan"])
 
-    def still_fails(candidate: ChaosPlan) -> bool:
-        trial = runner.run_plan(candidate)
-        return any(not result["ok"] and result["name"] in failed_names
-                   for result in trial["invariants"])
+    def cold_fails(candidate: ChaosPlan) -> bool:
+        return _matches_failure(runner.run_plan(candidate), failed_names)
 
-    return shrink_plan(plan, still_fails, max_runs=max_runs), verdict
+    from .campaign import WarmSession
+    if warm and plan.events and WarmSession.supported():
+        session = runner.warm_session(plan)
+
+        def warm_fails(candidate: ChaosPlan) -> bool:
+            return _matches_failure(session.run_plan(candidate),
+                                    failed_names)
+
+        result = shrink_plan(plan, warm_fails, max_runs=max_runs)
+        if cold_fails(result.plan):
+            result.runs += 1  # the cold validation run
+            result.mode = "warm"
+            return result, verdict
+        result = shrink_plan(plan, cold_fails, max_runs=max_runs)
+        result.mode = "warm-fallback"
+        return result, verdict
+
+    return shrink_plan(plan, cold_fails, max_runs=max_runs), verdict

@@ -15,6 +15,8 @@ Usage (also via ``python -m repro``)::
     python -m repro chaos run --seeds N [--json]      # fault campaigns
     python -m repro chaos shrink --chaos-seed S       # minimize a failure
     python -m repro chaos replay --plan plan.json     # re-run a plan
+    python -m repro snapshot --at T --out F.snap      # checkpoint a run
+    python -m repro restore F.snap [--verify-only]    # replay + continue
     python -m repro lint PATH...                      # determinism lint
 
 Everything runs a fresh, seeded simulation; same seed, same output.
@@ -212,8 +214,61 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default: 60)")
     chaos_shrink.add_argument("--out", metavar="PATH",
                               help="write the minimal plan JSON to PATH")
+    chaos_shrink.add_argument("--warm", action="store_true",
+                              help="probe shrink candidates by forking from "
+                                   "one shared settled prefix instead of "
+                                   "rebuilding per probe (minimum is re-"
+                                   "validated cold; falls back to cold "
+                                   "shrinking if it does not reproduce)")
     chaos_replay.add_argument("--plan", metavar="PATH", required=True,
                               help="plan JSON emitted by run/shrink")
+
+    snap = sub.add_parser(
+        "snapshot",
+        help="run a recorded program and write a crash-safe checkpoint of "
+             "the whole federation at a chosen simulated time")
+    snap.add_argument("--at", type=float, required=True, metavar="T",
+                      help="simulated second at which to capture the state")
+    snap.add_argument("--out", metavar="PATH", required=True,
+                      help="snapshot file to write (atomic: temp file, "
+                           "fsync, rename)")
+    snap.add_argument("--program", default="status",
+                      choices=["status", "campaign"],
+                      help="recorded program kind (default: status)")
+    snap.add_argument("--until", type=float, default=30.0,
+                      help="status program: simulated seconds to run "
+                           "(default: 30)")
+    snap.add_argument("--quiet-lab", action="store_true",
+                      help="status program: skip the six-step experiment")
+    snap.add_argument("--scenario", default="paper-lab",
+                      help="campaign program: scenario under attack "
+                           "(default: paper-lab)")
+    snap.add_argument("--horizon", type=float, default=90.0,
+                      help="campaign program: simulated seconds "
+                           "(default: 90)")
+    snap.add_argument("--chaos-seed", type=int, default=1,
+                      help="campaign program: seed whose derived fault "
+                           "plan to run (default: 1)")
+
+    restore = sub.add_parser(
+        "restore",
+        help="rebuild a snapshot's program in this process, verify the "
+             "replayed state digest at the checkpoint, then continue")
+    restore.add_argument("snapshot", metavar="PATH",
+                         help="snapshot file written by `repro snapshot`")
+    restore.add_argument("--verify-only", action="store_true",
+                         help="stop after the digest check at the "
+                              "checkpoint instant; do not continue the run")
+    restore.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the continued run's canonical primary "
+                              "output (status/verdict JSON) instead of a "
+                              "summary")
+    restore.add_argument("--spill", metavar="DB",
+                         help="record this resumed run in a sqlite history "
+                              "file, marked with the snapshot's digest")
+    restore.add_argument("--run-id",
+                         help="history run id for --spill "
+                              "(default: restore-<program kind>)")
 
     lint = sub.add_parser(
         "lint",
@@ -257,23 +312,11 @@ def cmd_inventory(args, out) -> int:
 
 
 def _run_six_steps(lab):
-    browser = lab.browser
-
-    def experiment():
-        yield from browser.compose_service(
-            "Composite-Service",
-            ["Neem-Sensor", "Jade-Sensor", "Diamond-Sensor"])
-        yield from browser.add_expression("Composite-Service", "(a + b + c)/3")
-        yield from browser.create_service("New-Composite")
-        yield from browser.compose_service(
-            "New-Composite", ["Composite-Service", "Coral-Sensor"])
-        yield from browser.add_expression("New-Composite", "(a + b)/2")
-        value = yield from browser.get_value("New-Composite")
-        yield from browser.get_info("New-Composite")
-        yield from browser.refresh_topology()
-        return value
-
-    return lab.env.run(until=lab.env.process(experiment()))
+    # The experiment body lives with the snapshot programs so a CLI run
+    # and a snapshot/restore replay are the same event sequence.
+    from .snapshot.programs import six_step_experiment
+    return lab.env.run(until=lab.env.process(
+        six_step_experiment(lab.browser), name="six-steps"))
 
 
 def cmd_experiment(args, out) -> int:
@@ -623,11 +666,13 @@ def cmd_history(args, out) -> int:
                      r["scheduler"],
                      "-" if r["sim_end"] is None else f"{r['sim_end']:g}",
                      "-" if r["events"] is None else r["events"],
-                     "yes" if r["finished"] else "no"]
+                     "yes" if r["finished"] else "no",
+                     "-" if r["restored_from"] is None
+                     else r["restored_from"][:12]]
                     for r in runs]
             out.write(render_table(
                 ["run", "scenario", "seed", "scheduler", "sim end",
-                 "events", "finished"], rows,
+                 "events", "finished", "restored-from"], rows,
                 title=f"{len(runs)} recorded run(s) in {args.db}") + "\n")
             return 0
         if store.run(args.run) is None:
@@ -730,15 +775,16 @@ def cmd_chaos(args, out) -> int:
         return 0 if summary["failed"] == 0 else 1
     if args.chaos_command == "shrink":
         result, verdict = shrink_failing_seed(runner, args.chaos_seed,
-                                              max_runs=args.max_runs)
+                                              max_runs=args.max_runs,
+                                              warm=args.warm)
         if result is None:
             out.write(f"seed {args.chaos_seed} passes every invariant; "
                       "nothing to shrink\n")
             return 0
         plan_json = result.plan.to_json()
         if args.out:
-            with open(args.out, "w", encoding="utf-8") as fh:
-                fh.write(plan_json)
+            from .util.atomicio import atomic_write_text
+            atomic_write_text(args.out, plan_json)
         if args.as_json:
             out.write(plan_json)
         else:
@@ -749,6 +795,7 @@ def cmd_chaos(args, out) -> int:
                       f"{len(result.plan.events)} event(s) in "
                       f"{result.runs} re-run(s)"
                       + (" (budget exhausted)" if result.exhausted else "")
+                      + (f" [probes: {result.mode}]" if args.warm else "")
                       + "\n")
             for event in result.plan.events:
                 out.write(f"  {event.kind} {event.target} "
@@ -769,6 +816,82 @@ def cmd_chaos(args, out) -> int:
                   f"{args.plan}\n")
         _write_run_line(out, run)
     return 0 if run["ok"] else 1
+
+
+def cmd_snapshot(args, out) -> int:
+    from .snapshot.programs import campaign_spec, run_program, status_spec
+    if args.program == "status":
+        horizon = args.until
+        spec = status_spec(seed=args.seed, until=args.until,
+                           six_steps=not args.quiet_lab)
+    else:
+        from .chaos import CampaignConfig, CampaignRunner
+        horizon = args.horizon
+        config = CampaignConfig(horizon=args.horizon,
+                                scenario_seed=args.seed)
+        runner = CampaignRunner(scenario=args.scenario, config=config)
+        spec = campaign_spec(runner.plan_for(args.chaos_seed).to_dict(),
+                             scenario=args.scenario)
+    if not 0 <= args.at < horizon:
+        out.write(f"error: --at {args.at:g} is outside the run's horizon "
+                  f"[0, {horizon:g}); the checkpoint would never fire\n")
+        return 2
+    run_program(spec, checkpoint_at=[args.at], sink=args.out)
+    from .snapshot.format import read_snapshot
+    body = read_snapshot(args.out)
+    out.write(f"snapshot written to {args.out}: {args.program} program, "
+              f"checkpoint at t={body['checkpoint']['at']:g}s, "
+              f"{len(body['state'])} state section(s), "
+              f"digest {body['digest'][:12]}\n")
+    return 0
+
+
+def cmd_restore(args, out) -> int:
+    from .snapshot import (RestoreMismatch, SnapshotCorrupt,
+                           SnapshotVersionError)
+    from .snapshot.restore import restore_run
+    try:
+        outputs, body = restore_run(args.snapshot,
+                                    continue_run=not args.verify_only)
+    except FileNotFoundError:
+        out.write(f"error: no snapshot at {args.snapshot}\n")
+        return 2
+    except (SnapshotCorrupt, SnapshotVersionError, RestoreMismatch) as exc:
+        out.write(f"error: {type(exc).__name__}: {exc}\n")
+        return 2
+    checkpoint = body["checkpoint"]
+    program = body["program"]
+    if outputs is None:
+        out.write(f"snapshot verified: {program['kind']} program, replayed "
+                  f"state matches checkpoint {checkpoint['index']} at "
+                  f"t={checkpoint['at']:g}s (digest {body['digest'][:12]})\n")
+        return 0
+    if args.spill:
+        from .observability import HistoryStore
+        run_id = args.run_id or f"restore-{program['kind']}"
+        kernel = body["state"]["kernel"]
+        with HistoryStore(args.spill) as store:
+            store.begin_run(
+                run_id, program.get("scenario", "paper-lab"),
+                program.get("seed", program.get("plan", {}).get("seed", 0)),
+                program.get("scheduler") or "heap", replace=True,
+                restored_from=body["digest"])
+            store.finish_run(run_id, checkpoint["at"],
+                             kernel["seqs_issued"],
+                             meta={"snapshot": args.snapshot})
+    if args.as_json:
+        out.write(outputs["verdict"] if "verdict" in outputs
+                  else outputs["status"])
+        return 0
+    out.write(f"restored {program['kind']} run from {args.snapshot}: "
+              f"checkpoint {checkpoint['index']} at t={checkpoint['at']:g}s "
+              f"verified (digest {body['digest'][:12]}), continued to "
+              f"completion\n")
+    for name in sorted(outputs):
+        out.write(f"  output {name}: {len(outputs[name])} bytes\n")
+    if args.spill:
+        out.write(f"recorded resumed run in {args.spill}\n")
+    return 0
 
 
 def cmd_lint(args, out) -> int:
@@ -814,8 +937,8 @@ def cmd_lint(args, out) -> int:
             return 2
         findings = apply_baseline(findings, load_baseline(text))
     if args.write_baseline:
-        Path(args.write_baseline).write_text(format_baseline(findings),
-                                             encoding="utf-8")
+        from .util.atomicio import atomic_write_text
+        atomic_write_text(args.write_baseline, format_baseline(findings))
         out.write(f"wrote {len(findings)} finding(s) to "
                   f"{args.write_baseline}\n")
         return 0
@@ -844,6 +967,8 @@ _COMMANDS = {
     "profile": cmd_profile,
     "history": cmd_history,
     "chaos": cmd_chaos,
+    "snapshot": cmd_snapshot,
+    "restore": cmd_restore,
     "lint": cmd_lint,
 }
 

@@ -80,6 +80,22 @@ class Landlord:
     def __len__(self) -> int:
         return len(self._leases)
 
+    def checkpoint_state(self) -> dict:
+        """Snapshot section fragment: the full lease table.
+
+        Includes leases that have lapsed but not yet been reaped — the
+        restore contract requires the sweeper in a restored run to reap
+        exactly what the original run's sweeper would have."""
+        return {
+            "leases": [{
+                "duration": record.duration,
+                "expiration": record.expiration,
+                "lease_id": record.lease_id,
+                "resource": repr(record.resource_id),
+            } for _, record in sorted(self._leases.items())],
+            "next_id": self._next_id,
+        }
+
     def _clamp(self, duration: float) -> float:
         if duration <= 0:
             raise LeaseDeniedError(f"non-positive lease duration {duration}")

@@ -20,6 +20,7 @@ from ..net.host import Host
 from ..net.rpc import RemoteRef, rpc_endpoint
 from ..observability import metrics_registry
 from ..resilience import RetryPolicy, backoff_rng, resilience_events
+from ..snapshot.registry import register_participant
 from .lease import Lease
 
 __all__ = ["LeaseRenewalService"]
@@ -69,6 +70,25 @@ class LeaseRenewalService:
         self._rng = backoff_rng(host.name, salt=2)
         self.ref = self._endpoint.export(self, f"norm:{host.name}",
                                          methods=self.REMOTE_METHODS)
+        register_participant(host.env, f"jini.norm.{host.name}",
+                             self.checkpoint_state)
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot section: every managed lease, including ones mid-backoff
+        after a failed renewal — restore must retry them on schedule."""
+        return {
+            "sets": {set_id: [{
+                "alive": managed.alive,
+                "expiration": managed.lease.expiration,
+                "failures": managed.failures,
+                "lease_id": managed.lease.lease_id,
+                "next_attempt": managed.next_attempt,
+                "renew_duration": managed.renew_duration,
+                "until": managed.until,
+            } for managed in managed_list]
+                for set_id, managed_list in sorted(self._sets.items())},
+            "sweeping": self._sweeping,
+        }
 
     # -- remote API -------------------------------------------------------------
 
@@ -175,7 +195,7 @@ class LeaseRenewalService:
                                                 self._rng),
                         max(0.05, managed.lease.remaining(self.env.now)))
                     managed.next_attempt = self.env.now + delay
-                    self.events.emit("retry_scheduled", kind="lease-renewal",
+                    self.events.emit("retry_scheduled", op="lease-renewal",
                                      lease=managed.lease.lease_id,
                                      attempt=managed.failures,
                                      delay=round(delay, 6))

@@ -21,6 +21,7 @@ from ..net.message import Message
 from ..net.rpc import RemoteRef, rpc_endpoint
 from ..sim import Interrupt
 from ..sim import sanitizer as _san
+from ..snapshot.registry import register_participant
 from .discovery import ANNOUNCE_PORT, DISCOVERY_GROUP, PROBE_PORT
 from .events import (
     ALL_TRANSITIONS,
@@ -92,6 +93,26 @@ class LookupService:
                                    methods=self.REMOTE_METHODS)
         self._started = False
         host.on_fail(self._on_host_fail)
+        register_participant(host.env, f"jini.lus.{self.lus_id}",
+                             self.checkpoint_state)
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot section: registry contents, interests, lease table."""
+        return {
+            "host": self.host.name,
+            "interests": [{
+                "event_id": interest.event_id,
+                "sequence": interest.sequence,
+                "transitions": interest.transitions,
+            } for _, interest in sorted(self._interests.items())],
+            "items": {service_id: item.name()
+                      for service_id, item in sorted(self._items.items())},
+            "landlord": self._landlord.checkpoint_state(),
+            "lease_of_service": dict(sorted(
+                self._lease_of_service.items())),
+            "name": self.name,
+            "started": self._started,
+        }
 
     # -- lifecycle ------------------------------------------------------------
 

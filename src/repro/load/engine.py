@@ -30,6 +30,7 @@ from ..sorcer.accessor import ServiceAccessor
 from ..sorcer.context import ServiceContext
 from ..sorcer.exerter import Exerter
 from ..sorcer.exertion import Task
+from ..snapshot.registry import register_participant
 from ..sorcer.signature import Signature
 from ..util.rng import substream
 
@@ -98,6 +99,24 @@ class OpenLoopEngine:
         self._hist = {n: registry.histogram("load.latency", tenant=n)
                       for n in names}
         self._hist_all = registry.histogram("load.latency", tenant="_total")
+        register_participant(self.env, "load.engine", self.checkpoint_state)
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot section: per-tenant counters, bursts, open-loop gate."""
+        return {
+            "bursts": {tenant: list(burst) for tenant, burst
+                       in sorted(self._bursts.items())},
+            "completed": dict(sorted(self._completed.items())),
+            "failed": dict(sorted(self._failed.items())),
+            "finished_at": self.finished_at,
+            "goodput": dict(sorted(self._goodput.items())),
+            "inflight": self.inflight,
+            "offered": dict(sorted(self._offered.items())),
+            "rejected": {tenant: dict(sorted(reasons.items()))
+                         for tenant, reasons
+                         in sorted(self._rejected.items())},
+            "started_at": self.started_at,
+        }
 
     # -- chaos hook -------------------------------------------------------------
 

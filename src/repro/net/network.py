@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from ..sim import Environment
+from ..snapshot.registry import register_participant
 from ..util.ids import IdSource
 from .errors import HostDownError, UnreachableError
 from .latency import LanLatency, LatencyModel, LossModel, NoLoss
@@ -131,6 +132,21 @@ class Network:
         #: Link filters: chaos-injection hooks consulted per message after
         #: the loss model; each returns ``None`` or a :class:`LinkDecision`.
         self._link_filters: list = []
+        register_participant(env, "net", self.checkpoint_state)
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot section: topology, partitions, traffic, RNG positions."""
+        return {
+            "cut_directed": sorted(list(pair) for pair in self._cut_directed),
+            "cut_links": sorted(sorted(pair) for pair in self._cut_links),
+            "groups": {name: sorted(members)
+                       for name, members in sorted(self.groups.items())},
+            "hosts": {name: {"up": host.up}
+                      for name, host in sorted(self.hosts.items())},
+            "ids_issued": self.ids.issued,
+            "rng": self.rng.bit_generator.state,
+            "traffic": self.stats.snapshot(),
+        }
 
     def tap(self, fn) -> None:
         """Register a message observer (benchmark instrumentation)."""

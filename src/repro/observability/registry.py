@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 from ..metrics.quantiles import max_from_buckets, quantile_from_buckets
 from ..sim import sanitizer as _san
+from ..snapshot.registry import register_participant
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "metrics_registry", "DEFAULT_LATENCY_BUCKETS"]
@@ -268,4 +269,10 @@ def metrics_registry(network) -> MetricsRegistry:
     if registry is None:
         registry = MetricsRegistry()
         network._metrics_registry = registry
+        # Unlike the other network singletons this one never touches the
+        # env itself, and tests attach registries to bare stand-in
+        # networks — only a real simulated network joins the snapshot.
+        env = getattr(network, "env", None)
+        if env is not None:
+            register_participant(env, "metrics", registry.snapshot)
     return registry

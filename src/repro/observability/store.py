@@ -48,7 +48,7 @@ from .timeseries import TimeSeriesStore, Window
 
 __all__ = ["HistoryStore", "SCHEMA_VERSION"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -59,7 +59,8 @@ CREATE TABLE IF NOT EXISTS runs (
     sim_end   REAL,
     events    INTEGER,
     finished  INTEGER NOT NULL DEFAULT 0,
-    meta      TEXT NOT NULL DEFAULT '{}'
+    meta      TEXT NOT NULL DEFAULT '{}',
+    restored_from TEXT
 );
 CREATE TABLE IF NOT EXISTS windows (
     run_id TEXT NOT NULL,
@@ -113,6 +114,13 @@ class HistoryStore:
             self._conn.executescript(_SCHEMA)
             self._conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
             self._conn.commit()
+        elif version == 1:
+            # v1 -> v2: runs grew the restored_from marker (NULL for every
+            # pre-existing row — no v1 run was a snapshot restore).
+            self._conn.execute(
+                "ALTER TABLE runs ADD COLUMN restored_from TEXT")
+            self._conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+            self._conn.commit()
         elif version != SCHEMA_VERSION:
             self._conn.close()
             raise ValueError(
@@ -138,11 +146,16 @@ class HistoryStore:
 
     def begin_run(self, run_id: str, scenario: str, seed: int,
                   scheduler: str, meta: Optional[dict] = None,
-                  replace: bool = False) -> None:
+                  replace: bool = False,
+                  restored_from: Optional[str] = None) -> None:
         """Register a run. ``run_id`` must be new unless ``replace`` is
         set, in which case the previous run's rows are dropped first —
         the one deliberate exception to append-only, for re-recording a
-        scenario under the same name."""
+        scenario under the same name.
+
+        ``restored_from`` marks a run resumed from a snapshot file: the
+        snapshot's body digest (``repro restore --spill`` records it), so
+        history queries can tell resumed runs from uninterrupted ones."""
         existing = self._conn.execute(
             "SELECT 1 FROM runs WHERE run_id=?", (run_id,)).fetchone()
         if existing:
@@ -151,10 +164,10 @@ class HistoryStore:
                                  "(pass replace=True to overwrite)")
             self.delete_run(run_id)
         self._conn.execute(
-            "INSERT INTO runs (run_id, scenario, seed, scheduler, meta) "
-            "VALUES (?,?,?,?,?)",
+            "INSERT INTO runs (run_id, scenario, seed, scheduler, meta, "
+            "restored_from) VALUES (?,?,?,?,?,?)",
             (run_id, scenario, int(seed), scheduler,
-             json.dumps(meta or {}, sort_keys=True)))
+             json.dumps(meta or {}, sort_keys=True), restored_from))
         self._conn.commit()
 
     def spill_windows(self, run_id: str, store: TimeSeriesStore,
@@ -249,11 +262,12 @@ class HistoryStore:
         out = []
         for row in self._conn.execute(
                 "SELECT run_id, scenario, seed, scheduler, sim_end, events,"
-                " finished, meta FROM runs ORDER BY run_id"):
+                " finished, meta, restored_from FROM runs ORDER BY run_id"):
             out.append({
                 "run_id": row[0], "scenario": row[1], "seed": row[2],
                 "scheduler": row[3], "sim_end": row[4], "events": row[5],
                 "finished": bool(row[6]), "meta": json.loads(row[7]),
+                "restored_from": row[8],
             })
         return out
 

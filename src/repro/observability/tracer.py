@@ -15,9 +15,11 @@ overhead ablations: a disabled tracer hands out the shared
 
 from __future__ import annotations
 
+import zlib
 from itertools import count
 from typing import Callable, Iterable, Optional
 
+from ..snapshot.registry import register_participant
 from .span import NULL_SPAN, Span
 
 __all__ = ["Tracer", "tracer_of", "render_span_tree"]
@@ -109,6 +111,17 @@ def tracer_of(network) -> Tracer:
     if tracer is None:
         tracer = Tracer(network.env)
         network._tracer = tracer
+
+        def _trace_state() -> dict:
+            # Spans would dwarf every other section; a count plus a crc32
+            # of the canonical JSONL pins the trace byte-for-byte without
+            # embedding it.
+            from .export import trace_to_jsonl
+            return {"crc32": zlib.crc32(
+                        trace_to_jsonl(tracer).encode("utf-8")),
+                    "spans": len(tracer)}
+
+        register_participant(network.env, "trace", _trace_state)
     return tracer
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
+from ..snapshot.registry import register_participant
 from .dispatch import WeightedFairQueue
 from .errors import Overloaded
 from .quota import QuotaRegistry
@@ -82,6 +83,17 @@ class AdmissionController:
         self._m_depth = registry.gauge("overload.queue_depth", provider=name)
         self._m_wait = registry.histogram("overload.queue_wait",
                                           provider=name)
+        register_participant(env, f"overload.admission.{name}",
+                             self.checkpoint_state)
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot section: admission gate plus quota/fair-queue state."""
+        state = dict(self.snapshot())
+        if self.quotas is not None:
+            state["quotas"] = self.quotas.checkpoint_state()
+        if self.fair is not None:
+            state["fair"] = self.fair.checkpoint_state()
+        return state
 
     # -- queue plumbing (FIFO or weighted-fair) ---------------------------------
 

@@ -56,6 +56,18 @@ class WeightedFairQueue:
         self._seq[tenant] = seq + 1
         heapq.heappush(self._heap, (tag, tenant, seq, item))
 
+    def checkpoint_state(self) -> dict:
+        """Snapshot section fragment: virtual clock + per-tenant finish
+        tags (queued items themselves belong to their waiters)."""
+        return {
+            "depth": len(self._heap),
+            "last_finish": {tenant: tag for tenant, tag
+                            in sorted(self._last_finish.items())},
+            "seq": {tenant: seq for tenant, seq
+                    in sorted(self._seq.items())},
+            "vtime": self._vtime,
+        }
+
     def pop(self):
         """The next item in weighted-fair order (None when empty)."""
         if not self._heap:

@@ -76,6 +76,15 @@ class QuotaRegistry:
             self._buckets[tenant] = bucket
         return bucket
 
+    def checkpoint_state(self) -> dict:
+        """Snapshot section fragment: every bucket's fill and refill mark."""
+        return {tenant: {
+            "burst": bucket.burst,
+            "last": bucket.last,
+            "rate": bucket.rate,
+            "tokens": round(bucket.tokens, 9),
+        } for tenant, bucket in sorted(self._buckets.items())}
+
     def admit(self, tenant: str, now: float) -> tuple:
         """(admitted, retry_after) for one request from ``tenant``."""
         bucket = self.bucket(tenant)

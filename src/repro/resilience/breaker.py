@@ -168,3 +168,16 @@ class BreakerRegistry:
                       "opens": breaker.opens,
                       "refusals": breaker.refusals}
                 for key, breaker in sorted(self._breakers.items())}
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot section: full per-breaker timing state (not just the
+        management-plane view — ``opened_at`` and probe slots decide how
+        a restored breaker behaves at the reset-timeout edge)."""
+        return {key: {
+            "consecutive_failures": breaker.consecutive_failures,
+            "opened_at": breaker.opened_at,
+            "opens": breaker.opens,
+            "probes_in_flight": breaker._probes_in_flight,
+            "refusals": breaker.refusals,
+            "state": breaker.state.value,
+        } for key, breaker in sorted(self._breakers.items())}

@@ -16,6 +16,8 @@ from it), mirroring how circuit breakers attach via
 
 from __future__ import annotations
 
+from ..snapshot.registry import register_participant
+
 __all__ = ["RetryBudget", "retry_budget_of"]
 
 
@@ -59,4 +61,10 @@ def retry_budget_of(host) -> RetryBudget:
     if budget is None:
         budget = RetryBudget()
         host._retry_budget = budget
+        # Tests hand in bare host stand-ins; only a host on a simulated
+        # network joins the snapshot.
+        env = getattr(host, "env", None)
+        if env is not None:
+            register_participant(env, f"resilience.budget.{host.name}",
+                                 budget.snapshot)
     return budget

@@ -16,11 +16,13 @@ host, lease renewal services, CSPs — shares a single ordered trace.
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional
 
 from ..metrics.recorder import Recorder
 from ..observability.registry import MetricsRegistry
 from ..sim import Environment
+from ..snapshot.registry import register_participant
 
 __all__ = ["ResilienceEvents", "resilience_events"]
 
@@ -73,4 +75,13 @@ def resilience_events(network) -> ResilienceEvents:
         events = ResilienceEvents(network.env,
                                   metrics=metrics_registry(network))
         network._resilience_events = events
+
+        def _events_state() -> dict:
+            # Counters already live in the "metrics" section; pin the
+            # ordered trace itself by length + checksum.
+            trace = events.trace
+            return {"count": len(trace),
+                    "crc32": zlib.crc32(repr(trace).encode("utf-8"))}
+
+        register_participant(network.env, "resilience.events", _events_state)
     return events

@@ -114,6 +114,40 @@ class HeapScheduler:
         self.cancels += 1
         self._dead.add(seq)
 
+    def entries(self) -> list:
+        """Every live pending occurrence in pop order, *without* popping.
+
+        Strictly non-mutating — no counters move, no tombstones are
+        consumed — so the snapshot capture path can enumerate the pending
+        set without perturbing the ``kernel.scheduler.*`` gauges the
+        health beat publishes (DESIGN §12/§14).
+        """
+        dead = self._dead
+        return [entry for entry in sorted(self._heap)
+                if entry[3] not in dead]
+
+    def drain(self) -> list:
+        """Remove and return every live occurrence in pop order.
+
+        Part of the scheduler-neutral snapshot contract: ``drain()`` on
+        one scheduler kind followed by ``refill()`` on the other must
+        yield the identical pop sequence (the round-trip suite proves
+        it). Tombstones are discarded with their occurrences.
+        """
+        entries = self.entries()
+        self._heap.clear()
+        self._dead.clear()
+        return entries
+
+    def refill(self, entries) -> None:
+        """Bulk-load occurrences (the inverse of :meth:`drain`).
+
+        Counts as ordinary pushes for the operation counters; ordering
+        honours the same ``(time, priority, tie, seq)`` total order.
+        """
+        for time, priority, tie, seq, event in entries:
+            self.push(time, priority, tie, seq, event)
+
     def stats(self) -> dict:
         """Deterministic internals snapshot (operation totals + pending).
 
@@ -262,6 +296,50 @@ class CalendarQueue:
         self.cancels += 1
         self._dead.add(seq)
         self._peek_cache = None
+
+    def entries(self) -> list:
+        """Every live pending occurrence in pop order, *without* popping.
+
+        Strictly non-mutating (no counters, no tombstone consumption, no
+        peek-cache invalidation): the snapshot capture path enumerates
+        the pending set through this, and capture must not move the
+        ``kernel.scheduler.*`` gauges the health beat publishes.
+        """
+        dead = self._dead
+        out = []
+        for bucket in self._buckets:
+            for cell in bucket:
+                time, priority, tie = cell[0], cell[1], cell[2]
+                for seq, event in cell[4]:
+                    if seq in dead:
+                        continue
+                    out.append((time, priority, tie, seq, event))
+        out.sort(key=lambda e: (e[0], e[1], e[2], e[3]))
+        return out
+
+    def drain(self) -> list:
+        """Remove and return every live occurrence in pop order.
+
+        The scheduler-neutral snapshot contract: ``drain()`` from either
+        scheduler kind feeds ``refill()`` on either kind and the pop
+        sequence is identical (see tests/sim/test_drain_refill.py).
+        Tombstones are discarded with their occurrences.
+        """
+        entries = self.entries()
+        self._buckets = [[] for _ in range(self._nbuckets)]
+        self._size = 0
+        self._dead.clear()
+        self._peek_cache = None
+        return entries
+
+    def refill(self, entries) -> None:
+        """Bulk-load occurrences (the inverse of :meth:`drain`).
+
+        Counts as ordinary pushes for the operation counters; the
+        calendar re-estimates its width through the usual resize path.
+        """
+        for time, priority, tie, seq, event in entries:
+            self.push(time, priority, tie, seq, event)
 
     # -- retrieval ------------------------------------------------------------
 

@@ -474,6 +474,13 @@ class Environment:
         the scheduler ``stats()`` docstrings for the determinism caveat."""
         return self._scheduler.stats()
 
+    def pending(self) -> list:
+        """Every live pending occurrence as ``(time, priority, tie, seq,
+        event)`` tuples in pop order, without disturbing the queue. The
+        snapshot capture enumerates the event set through this (both
+        scheduler kinds implement the same non-mutating ``entries()``)."""
+        return self._scheduler.entries()
+
     def step(self) -> None:
         """Process the next scheduled event."""
         if not self._scheduler.size:

@@ -1,0 +1,55 @@
+"""Snapshot participant registry — who owns which checkpointed section.
+
+Every module that holds federation state registers a *participant* on its
+environment at construction time: a stable section key plus a zero-arg
+provider returning that module's declarative state. The capture pass
+(:mod:`repro.snapshot.capture`) walks the registry in sorted key order,
+so the snapshot body is byte-stable regardless of build order.
+
+The registry deliberately imports nothing from the rest of the package
+(and nothing non-stdlib): state owners across every layer — jini,
+resilience, observability, overload, load, sensors — import this module,
+and it must never create an import cycle back through them.
+
+Contract for providers (enforced socially + by the equivalence suite):
+
+* **non-mutating** — a provider must not move counters, consume RNG
+  draws, or touch the event queue; capture runs between events and the
+  run must be byte-identical with or without it;
+* **deterministic** — same run, same sim time ⇒ same returned value;
+* **JSON-able after** :func:`repro.snapshot.capture.jsonable` — plain
+  dicts/lists/strings/numbers (tuples become lists, sets must be sorted
+  by the provider itself).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["register_participant", "participants"]
+
+_ATTR = "_snapshot_participants"
+
+
+def register_participant(env, key: str, provider: Callable[[], dict]) -> None:
+    """Register ``provider`` as the owner of snapshot section ``key``.
+
+    Keys must be unique per environment — a duplicate means two modules
+    claim the same state, which is exactly the bug the state-ownership
+    table (DESIGN §14) exists to prevent, so it raises immediately.
+    """
+    table = getattr(env, _ATTR, None)
+    if table is None:
+        table = {}
+        setattr(env, _ATTR, table)
+    if key in table:
+        raise ValueError(f"snapshot section {key!r} already registered")
+    table[key] = provider
+
+
+def participants(env) -> list:
+    """All registered ``(key, provider)`` pairs in sorted key order."""
+    table = getattr(env, _ATTR, None)
+    if not table:
+        return []
+    return sorted(table.items())

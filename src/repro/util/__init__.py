@@ -1,5 +1,7 @@
-"""Small shared utilities (identifier generation)."""
+"""Small shared utilities (identifier generation, crash-safe writes)."""
 
+from .atomicio import AtomicFile, atomic_write_bytes, atomic_write_text
 from .ids import IdSource
 
-__all__ = ["IdSource"]
+__all__ = ["AtomicFile", "IdSource", "atomic_write_bytes",
+           "atomic_write_text"]

@@ -7,7 +7,6 @@ like the uuids in the paper's Fig 2 (e.g.
 
 from __future__ import annotations
 
-from itertools import count
 from typing import Optional
 
 import numpy as np
@@ -20,11 +19,23 @@ class IdSource:
 
     def __init__(self, rng: Optional[np.random.Generator] = None):
         self._rng = rng if rng is not None else np.random.default_rng(0xCAFE)
-        self._counter = count(1)
+        # A plain int rather than itertools.count: the snapshot capture
+        # reads the position without consuming a value.
+        self._next = 1
+
+    def _take(self) -> int:
+        seq = self._next
+        self._next += 1
+        return seq
+
+    @property
+    def issued(self) -> int:
+        """How many identifiers have been handed out so far."""
+        return self._next - 1
 
     def uuid(self) -> str:
         """A uuid-shaped string: random hex plus an embedded sequence number."""
-        seq = next(self._counter)
+        seq = self._take()
         words = self._rng.integers(0, 2**32, size=3, dtype=np.uint64)
         return (f"{int(words[0]):08x}-{int(words[1]) & 0xFFFF:04x}-"
                 f"4{(int(words[1]) >> 16) & 0xFFF:03x}-"
@@ -32,4 +43,4 @@ class IdSource:
 
     def sequence(self) -> int:
         """A plain increasing integer (lease ids, event ids)."""
-        return next(self._counter)
+        return self._take()

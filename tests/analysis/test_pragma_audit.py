@@ -26,6 +26,7 @@ ALLOWED = {
     "benchmarks/bench_kernel.py": {"DET001"},
     "benchmarks/bench_overhead.py": {"DET001"},
     "benchmarks/bench_prof.py": {"DET001"},
+    "benchmarks/bench_snapshot.py": {"DET001"},
     # The profiler is the one src/ module allowed to read the wall clock:
     # it exists to measure the simulator and is isolated behind the
     # kernel's side-channel-only hook (see the module docstring).

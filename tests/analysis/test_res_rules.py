@@ -327,3 +327,87 @@ def test_res005_pragma_suppresses():
             yield env.timeout(5.0)
             timer.callbacks.clear()
     """, rule="RES005")
+
+
+# ---------------------------------------------------------------------------
+# RES006 — AtomicFile publish-or-abort
+
+
+def test_res006_interrupt_leak_at_yield():
+    found = findings_for("""
+        def spill(env, path, blob):
+            fh = AtomicFile(path)
+            yield env.timeout(1.0)
+            fh.write(blob)
+            fh.close()
+    """, rule="RES006")
+    assert [f.line for f in found] == [3]
+    assert "Interrupt edge of the yield at line 4" in found[0].message
+
+
+def test_res006_exception_leak_before_close():
+    found = findings_for("""
+        def spill(path, render):
+            fh = AtomicFile(path)
+            fh.write(render())
+            fh.close()
+    """, rule="RES006")
+    assert [f.line for f in found] == [3]
+    assert "exception path escaping at line 4" in found[0].message
+
+
+def test_res006_dropped_handle_flagged():
+    found = findings_for("""
+        def touch(path):
+            AtomicFile(path)
+    """, rule="RES006")
+    assert [f.line for f in found] == [3]
+    assert "never be published" in found[0].message
+
+
+def test_res006_with_block_is_clean():
+    assert_clean("""
+        def spill(path, blob):
+            with AtomicFile(path) as fh:
+                fh.write(blob)
+    """, rule="RES006")
+
+
+def test_res006_try_finally_close_is_clean():
+    assert_clean("""
+        def spill(path, blob):
+            fh = AtomicFile(path)
+            try:
+                fh.write(blob)
+            finally:
+                fh.close()
+    """, rule="RES006")
+
+
+def test_res006_abort_on_failure_is_clean():
+    assert_clean("""
+        def spill(path, render):
+            fh = AtomicFile(path)
+            try:
+                fh.write(render())
+            except BaseException:
+                fh.abort()
+                raise
+            fh.close()
+    """, rule="RES006")
+
+
+def test_res006_escaping_handle_is_callers_problem():
+    assert_clean("""
+        def open_sink(path):
+            fh = AtomicFile(path)
+            return fh
+    """, rule="RES006")
+
+
+def test_res006_pragma_suppresses():
+    assert_clean("""
+        def spill(path, blob):
+            fh = AtomicFile(path)  # repro: allow[RES006] - closed by caller via registry
+            fh.write(blob)
+    """, rule="RES006")
